@@ -1,0 +1,44 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+A single session-scoped :class:`~repro.experiments.runner.Runner` is
+shared by every bench module; it memoizes (benchmark × configuration)
+cells, so figures that share cells (most of them) re-use simulations
+instead of re-running them.
+
+Bench outputs (the regenerated tables/figures) are printed through
+pytest's captured stdout; run with ``-s`` or ``-rA`` to see them, or
+read ``benchmarks/results/*.txt`` which each bench also writes.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import Runner
+
+#: Simulated milliseconds measured per cell.  Long enough for stable
+#: FPS/latency statistics, short enough for the full matrix to run in
+#: a few minutes.
+BENCH_DURATION_MS = 15000.0
+BENCH_WARMUP_MS = 2000.0
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner(seed=1, duration_ms=BENCH_DURATION_MS, warmup_ms=BENCH_WARMUP_MS)
+
+
+@pytest.fixture(scope="session")
+def save_text():
+    """Persist a regenerated table/figure under benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

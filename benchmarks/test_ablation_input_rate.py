@@ -1,0 +1,65 @@
+"""Ablation — stressing PriorityFrame's input-sparsity assumption.
+
+Sec. 5.3 rests on users producing ≤ ~5 discrete actions per second
+("a normal user typically only produces fewer than 250 APM").  This
+sweep raises the action rate far beyond that and measures what happens
+to ODR's FPS gap, delivered FPS, and latency: the gap cost of
+obsolete-frame flushing grows roughly linearly with action rate, while
+the latency benefit persists — quantifying exactly how far the paper's
+assumption can be pushed before PriorityFrame should be throttled.
+"""
+
+import dataclasses
+
+from repro.experiments.report import format_table
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.regulators import make_regulator
+from repro.workloads import PRIVATE_CLOUD, Resolution, get_benchmark
+
+ACTION_RATES = [1.0, 3.6, 8.0, 15.0]
+
+
+def run_input_sweep(duration_ms=15000.0):
+    base = get_benchmark("IM")
+    rows = {}
+    for rate in ACTION_RATES:
+        profile = dataclasses.replace(base, actions_per_second=rate)
+        cells = {}
+        for spec in ("ODR60", "ODR60-noPri"):
+            config = SystemConfig(profile, PRIVATE_CLOUD, Resolution.R720P, seed=1,
+                                  duration_ms=duration_ms, warmup_ms=2000.0)
+            result = CloudSystem(config, make_regulator(spec)).run()
+            cells[spec] = result
+        with_pri = cells["ODR60"]
+        without = cells["ODR60-noPri"]
+        rows[rate] = {
+            "gap": with_pri.fps_gap().mean_gap,
+            "client_fps": with_pri.client_fps,
+            "mtp_ms": with_pri.mean_mtp_ms(),
+            "mtp_nopri_ms": without.mean_mtp_ms(),
+            "latency_benefit_ms": without.mean_mtp_ms() - with_pri.mean_mtp_ms(),
+        }
+    return rows
+
+
+def test_ablation_input_rate(benchmark, save_text):
+    rows = benchmark.pedantic(run_input_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["actions/s", "gap", "client FPS", "MtP ms", "MtP noPri ms", "benefit ms"],
+        [[r, v["gap"], v["client_fps"], v["mtp_ms"], v["mtp_nopri_ms"],
+          v["latency_benefit_ms"]] for r, v in rows.items()],
+        title="Ablation: PriorityFrame vs user action rate (InMind, ODR60, 720p private)",
+    )
+    save_text("ablation_input_rate", text)
+
+    # within the paper's APM band, the gap cost is small
+    assert rows[3.6]["gap"] < 4.0
+    # the gap cost grows with action rate (flushes per second)
+    assert rows[15.0]["gap"] > rows[1.0]["gap"]
+    # the latency benefit holds across the sweep
+    for rate in ACTION_RATES:
+        assert rows[rate]["latency_benefit_ms"] > 0
+    # even at 4x the paper's assumed rate, the target still holds
+    assert rows[15.0]["client_fps"] >= 58.0
+
+    benchmark.extra_info["gap_at_15aps"] = round(rows[15.0]["gap"], 2)

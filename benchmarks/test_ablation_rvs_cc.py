@@ -1,0 +1,49 @@
+"""Ablation — RVS's cc low-pass constant.
+
+Sec. 4.1 argues cc is a fragile hand-tuned constant: too small and the
+feedback barely acts; too large and the stale feedback over-throttles
+rendering.  This sweep quantifies the trade-off the paper describes
+("cc ... had to be manually tuned for each hardware setup").
+"""
+
+from repro.experiments.report import format_table
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.regulators import RemoteVsync
+from repro.workloads import PRIVATE_CLOUD, Resolution
+
+CC_VALUES = [0.0, 0.1, 0.25, 0.5, 1.0, 2.0]
+
+
+def run_cc_sweep(duration_ms=12000.0):
+    rows = {}
+    for cc in CC_VALUES:
+        config = SystemConfig("IM", PRIVATE_CLOUD, Resolution.R720P, seed=1,
+                              duration_ms=duration_ms, warmup_ms=2000.0)
+        result = CloudSystem(config, RemoteVsync(refresh_hz=240, cc=cc)).run()
+        rows[cc] = {
+            "client_fps": result.client_fps,
+            "gap": result.fps_gap().mean_gap,
+            "mtp_ms": result.mean_mtp_ms(),
+        }
+    return rows
+
+
+def test_ablation_rvs_cc(benchmark, save_text):
+    rows = benchmark.pedantic(run_cc_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["cc", "client FPS", "gap", "MtP ms"],
+        [[cc, v["client_fps"], v["gap"], v["mtp_ms"]] for cc, v in rows.items()],
+        title="Ablation: RVSMax cc sweep (InMind, 720p private, 240Hz display)",
+    )
+    save_text("ablation_rvs_cc", text)
+
+    # a larger cc always throttles FPS further
+    fps = [rows[cc]["client_fps"] for cc in CC_VALUES]
+    assert all(a >= b - 1.0 for a, b in zip(fps, fps[1:]))
+    assert fps[0] - fps[-1] > 5.0
+
+    # but even cc=0 cannot exceed the feedback-window bound (<< NoReg's 93)
+    assert fps[0] < 88.0
+
+    benchmark.extra_info["fps_cc0"] = round(fps[0], 1)
+    benchmark.extra_info["fps_cc2"] = round(fps[-1], 1)

@@ -1,0 +1,79 @@
+"""Extension — client-side presentation (the paper's future work).
+
+Sec. 5.2: "high frequency (90-240hz) displays with FreeSync/GSync are
+designed to reduce lag by allowing frames to arrive at high but varying
+rates... We will explore client optimizations in the future."
+
+This bench performs that exploration on top of ODR: the same ODRMax
+stream (high but varying arrival rate) is presented through an
+unsynchronized client, a fixed 60 Hz VSync client, and a 48-144 Hz
+FreeSync-style VRR client, comparing delivered photon rate, added
+latency, tearing, and drops.
+"""
+
+from repro.experiments.report import format_table
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.pipeline.display import ImmediateDisplay, VrrDisplay, VsyncDisplay
+from repro.regulators import make_regulator
+from repro.workloads import PRIVATE_CLOUD, Resolution
+
+
+def run_display_comparison(duration_ms=15000.0):
+    rows = {}
+    for label, factory in (
+        ("unsynced", lambda: ImmediateDisplay(refresh_hz=60)),
+        ("vsync60", lambda: VsyncDisplay(refresh_hz=60)),
+        ("vrr48-144", lambda: VrrDisplay(min_hz=48, max_hz=144)),
+    ):
+        model = factory()
+        config = SystemConfig("IM", PRIVATE_CLOUD, Resolution.R720P, seed=1,
+                              duration_ms=duration_ms, warmup_ms=2000.0)
+        result = CloudSystem(config, make_regulator("ODRMax"), display_model=model).run()
+        stats = model.stats
+        rows[label] = {
+            "decode_fps": result.client_fps,
+            "photon_fps": result.stage_mean_fps("display"),
+            "added_latency_ms": stats.mean_added_latency_ms,
+            "mtp_ms": result.mean_mtp_ms(),
+            "torn_frac": stats.tear_fraction,
+            "dropped": stats.dropped,
+        }
+    return rows
+
+
+def test_extension_client_displays(benchmark, save_text):
+    rows = benchmark.pedantic(run_display_comparison, rounds=1, iterations=1)
+    text = format_table(
+        ["display", "decode FPS", "photon FPS", "disp lat ms", "MtP ms", "torn", "dropped"],
+        [
+            [k, v["decode_fps"], v["photon_fps"], v["added_latency_ms"],
+             v["mtp_ms"], v["torn_frac"], v["dropped"]]
+            for k, v in rows.items()
+        ],
+        title="Extension: ODRMax through different client displays (InMind, 720p private)",
+    )
+    save_text("extension_client_displays", text)
+
+    unsynced, vsync, vrr = rows["unsynced"], rows["vsync60"], rows["vrr48-144"]
+
+    # unsynchronized: full rate, zero added latency, but it tears
+    assert unsynced["added_latency_ms"] == 0.0
+    assert unsynced["torn_frac"] > 0.3
+
+    # vsync60: clean but caps photons at 60 and adds latency + drops
+    assert vsync["photon_fps"] <= 60.5
+    assert vsync["dropped"] > 100
+    assert vsync["mtp_ms"] > unsynced["mtp_ms"]
+    assert vsync["torn_frac"] == 0.0
+
+    # VRR: clean AND nearly the full rate with almost no added latency —
+    # the future-work payoff of generating "enough frames at targeted
+    # rates" in the cloud
+    assert vrr["torn_frac"] == 0.0
+    assert vrr["dropped"] == 0
+    assert vrr["photon_fps"] > 0.95 * unsynced["photon_fps"]
+    assert vrr["added_latency_ms"] < 4.0
+    assert vrr["mtp_ms"] < vsync["mtp_ms"]
+
+    benchmark.extra_info["vrr_photon_fps"] = round(vrr["photon_fps"], 1)
+    benchmark.extra_info["vsync_drops"] = vsync["dropped"]

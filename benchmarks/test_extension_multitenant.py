@@ -1,0 +1,84 @@
+"""Extension — server consolidation density.
+
+The paper's datacenter-efficiency motivation, made quantitative: how
+many cloud-gaming sessions can one server host at the 60 FPS target?
+Free-running rendering burns the whole GPU on excessive frames, so a
+single NoReg tenant already crowds out neighbours; ODR sessions consume
+only what their targets need, multiplying consolidation density and
+cutting energy per session.
+"""
+
+from repro.experiments.report import format_table
+from repro.multitenant import SharedServer
+from repro.regulators import make_regulator
+from repro.workloads import PRIVATE_CLOUD, Resolution
+
+SESSION_BENCHMARKS = ["ITP", "IM", "RE", "STK"]
+TARGET_FPS = 59.0
+
+
+def run_consolidation(duration_ms=12000.0):
+    rows = []
+    for spec in ("NoReg", "ODR60"):
+        for n in (1, 2, 3, 4):
+            server = SharedServer(
+                benchmarks=SESSION_BENCHMARKS[:n],
+                platform=PRIVATE_CLOUD,
+                resolution=Resolution.R720P,
+                regulator_factory=lambda i: make_regulator(spec),
+                seed=1,
+                duration_ms=duration_ms,
+                warmup_ms=2000.0,
+            )
+            results = server.run()
+            min_fps = min(r.client_fps for r in results)
+            rows.append(
+                {
+                    "spec": spec,
+                    "sessions": n,
+                    "min_fps": min_fps,
+                    "all_meet_target": min_fps >= TARGET_FPS,
+                    "gpu_util": server.gpu_utilization(),
+                    "power_w": server.server_power_w(),
+                    "w_per_session": server.server_power_w() / n,
+                }
+            )
+    return rows
+
+
+def density(rows, spec):
+    return max(
+        (r["sessions"] for r in rows if r["spec"] == spec and r["all_meet_target"]),
+        default=0,
+    )
+
+
+def test_extension_multitenant(benchmark, save_text):
+    rows = benchmark.pedantic(run_consolidation, rounds=1, iterations=1)
+    text = format_table(
+        ["config", "sessions", "min FPS", "meets 60", "GPU util", "power W", "W/session"],
+        [
+            [r["spec"], r["sessions"], r["min_fps"], str(r["all_meet_target"]),
+             r["gpu_util"], r["power_w"], r["w_per_session"]]
+            for r in rows
+        ],
+        title="Extension: consolidation density (sessions per server at 60 FPS, 720p private)",
+    )
+    save_text("extension_multitenant", text)
+
+    noreg_density = density(rows, "NoReg")
+    odr_density = density(rows, "ODR60")
+    assert odr_density >= 2 * max(noreg_density, 1)
+
+    # consolidation amortizes idle power: W/session falls with tenants
+    odr_rows = {r["sessions"]: r for r in rows if r["spec"] == "ODR60"}
+    assert odr_rows[2]["w_per_session"] < odr_rows[1]["w_per_session"]
+
+    # NoReg saturates the GPU early; ODR leaves headroom at its density
+    noreg2 = next(r for r in rows if r["spec"] == "NoReg" and r["sessions"] == 2)
+    odr2 = next(r for r in rows if r["spec"] == "ODR60" and r["sessions"] == 2)
+    assert noreg2["gpu_util"] > 0.9
+    assert odr2["gpu_util"] < 0.6
+
+    benchmark.extra_info["noreg_density"] = noreg_density
+    benchmark.extra_info["odr_density"] = odr_density

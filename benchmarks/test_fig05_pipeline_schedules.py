@@ -1,0 +1,43 @@
+"""Figure 5 — pipeline schedules under Int60, RVS60, and ODR60.
+
+The paper's Fig. 5 sketches how each regulator spaces render/encode
+work.  This bench regenerates the schedule data from real simulation
+traces and checks the structural properties the sketches illustrate:
+Int60 renders on the 16.6 ms grid, RVS renders no faster than its
+feedback loop allows, and ODR back-pressures rendering to the encoder.
+"""
+
+from repro.experiments.figures import fig05_pipeline_schedules
+
+
+def _starts(schedule, stage):
+    return [s for st, s, e in schedule if st == stage]
+
+
+def test_fig05_pipeline_schedules(benchmark, save_text):
+    result = benchmark.pedantic(
+        lambda: fig05_pipeline_schedules(seed=1, n_frames=12), rounds=1, iterations=1
+    )
+    save_text("fig05_pipeline_schedules", result["text"])
+    data = result["data"]
+
+    # Int60: render starts align with the 16.6ms grid.
+    int_starts = _starts(data["Int60"], "render")
+    interval = 1000.0 / 60.0
+    on_grid = sum(1 for s in int_starts if min(s % interval, interval - s % interval) < 0.02)
+    assert on_grid >= 0.8 * len(int_starts)
+
+    # RVS60: consecutive render starts at least ~one vblank apart.
+    rvs_starts = _starts(data["RVS60"], "render")
+    gaps = [b - a for a, b in zip(rvs_starts, rvs_starts[1:])]
+    assert gaps and min(gaps) > 0.8 * interval
+
+    # ODR60: encodes pace to roughly the target interval once the
+    # pipeline fills, and renders track encodes one-for-one.
+    odr_encodes = _starts(data["ODR60"], "encode")
+    odr_renders = _starts(data["ODR60"], "render")
+    assert abs(len(odr_renders) - len(odr_encodes)) <= 3
+    encode_gaps = [b - a for a, b in zip(odr_encodes[2:], odr_encodes[3:])]
+    mean_gap = sum(encode_gaps) / len(encode_gaps)
+    assert 0.7 * interval <= mean_gap <= 1.3 * interval
+    benchmark.extra_info["odr_encode_gap_ms"] = round(mean_gap, 2)

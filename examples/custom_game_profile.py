@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Bring your own game: define a custom workload profile and regulate it.
+
+A downstream user adopting this library for their own cloud-gaming
+stack will not run the Pictor suite — they will characterize their own
+title.  This example builds a :class:`BenchmarkProfile` from scratch
+(an imaginary open-world RPG with heavy scenes and slow encode), then
+checks which FPS target is sustainable under ODR on a public cloud.
+
+Run:  python examples/custom_game_profile.py
+"""
+
+from repro import CloudSystem, OnDemandRendering, SystemConfig
+from repro.workloads import GCE, Resolution
+from repro.workloads.benchmarks import BenchmarkProfile
+from repro.workloads.distributions import FrameSizeModel, StageTimeModel
+
+# Characterize the game from profiling data: heavy scenes (slow, highly
+# variable rendering with big spikes when streaming new areas), large
+# frames (detailed open world compresses poorly).
+OPEN_WORLD_RPG = BenchmarkProfile(
+    name="RPG",
+    full_name="Example Open-World RPG",
+    genre="Role-Playing Game",
+    render=StageTimeModel(
+        mean_ms=9.0, cv=0.45, spike_prob=0.10, spike_scale_ms=9.0,
+        spike_alpha=2.2, rho=0.7,
+    ),
+    copy=StageTimeModel(mean_ms=1.7, cv=0.15, rho=0.3),
+    encode=StageTimeModel(
+        mean_ms=12.0, cv=0.25, spike_prob=0.10, spike_scale_ms=6.0,
+        spike_alpha=2.2, rho=0.6,
+    ),
+    decode=StageTimeModel(mean_ms=4.8, cv=0.2, rho=0.3),
+    frame_size=FrameSizeModel(mean_kb=78.0, gop_length=30, i_frame_ratio=4.0),
+    actions_per_second=3.0,
+    logic_cpu_weight=1.4,
+    ipc_peak=1.2,
+)
+
+
+def try_target(target_fps):
+    """Simulate ODR at the given target on GCE; report feasibility."""
+    config = SystemConfig(
+        benchmark=OPEN_WORLD_RPG,
+        platform=GCE,
+        resolution=Resolution.R720P,
+        seed=1,
+        duration_ms=20000.0,
+        warmup_ms=3000.0,
+    )
+    regulator = OnDemandRendering(target_fps=target_fps)
+    result = CloudSystem(config, regulator).run()
+    qos = result.qos(target_fps)
+    return result, qos
+
+
+def main() -> None:
+    print(f"Capacity planning for {OPEN_WORLD_RPG.full_name!r} on GCE @ 720p")
+    print()
+    for target in (30.0, 45.0, 60.0):
+        result, qos = try_target(target)
+        ok = result.client_fps >= target - 0.5 and qos.satisfaction > 0.95
+        print(
+            f"  ODR@{target:4.0f} FPS -> delivered {result.client_fps:5.1f} FPS, "
+            f"QoS windows {qos.satisfaction:6.1%}, "
+            f"MtP {result.mean_mtp_ms():5.1f} ms, "
+            f"bandwidth {result.bandwidth_mbps():4.1f} Mbps"
+            f"   {'SUSTAINABLE' if ok else 'NOT SUSTAINABLE'}"
+        )
+    print()
+    print("The encode stage (12 ms/frame uncontended) caps this title around")
+    print("75 FPS, but with strict 200 ms QoS windows only the 30 FPS target")
+    print("holds on this GCE path; 45/60 FPS would need an edge deployment")
+    print("or a lighter encode preset.")
+
+
+if __name__ == "__main__":
+    main()

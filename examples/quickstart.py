@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: run one cloud-3D benchmark with and without ODR.
+
+Simulates InMind (a VR game from the Pictor suite) at 720p on a
+private-cloud deployment, first with no FPS regulation and then under
+OnDemand Rendering with a 60 FPS target, and prints the comparison the
+paper's abstract summarizes: ODR removes the FPS gap, meets the QoS
+target, and cuts latency and power.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CloudSystem, SystemConfig, make_regulator
+from repro.hardware import evaluate_hardware
+from repro.workloads import PRIVATE_CLOUD, Resolution
+
+
+def run_one(spec: str):
+    """Simulate 20 s of InMind under the given regulator spec."""
+    config = SystemConfig(
+        benchmark="IM",
+        platform=PRIVATE_CLOUD,
+        resolution=Resolution.R720P,
+        seed=1,
+        duration_ms=20000.0,
+        warmup_ms=3000.0,
+    )
+    result = CloudSystem(config, make_regulator(spec)).run()
+    hardware = evaluate_hardware(result)
+    return result, hardware
+
+
+def main() -> None:
+    print("Quickstart: InMind @ 720p, private cloud, 20 s simulated")
+    print()
+    header = (
+        f"{'config':8s} {'render':>7s} {'client':>7s} {'gap':>6s} "
+        f"{'MtP ms':>7s} {'power W':>8s} {'IPC':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in ("NoReg", "ODR60"):
+        result, hardware = run_one(spec)
+        gap = result.fps_gap()
+        print(
+            f"{spec:8s} {result.render_fps:7.1f} {result.client_fps:7.1f} "
+            f"{gap.mean_gap:6.1f} {result.mean_mtp_ms():7.1f} "
+            f"{hardware.power.total_w:8.1f} {hardware.ipc:5.2f}"
+        )
+    print()
+    noreg, noreg_hw = run_one("NoReg")
+    odr, odr_hw = run_one("ODR60")
+    saved = 1 - odr_hw.power.total_w / noreg_hw.power.total_w
+    print(f"ODR60 removed {noreg.fps_gap().mean_gap - odr.fps_gap().mean_gap:.0f} frames/s")
+    print(f"of excessive rendering and saved {saved:.0%} of server power,")
+    print(f"while meeting the 60 FPS target ({odr.client_fps:.1f} FPS delivered)")
+    qos = odr.qos(60.0)
+    print(f"in {qos.satisfaction:.0%} of all 200 ms QoS windows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""VR latency budgets: where can cloud VR actually run?
+
+The paper (Sec. 3) lists MtP budgets per application class:
+action-intensive VR needs < 25 ms, action games < 100 ms, other games
+up to 500 ms.  This example sweeps both VR benchmarks (InMind and
+IMHOTEP) across deployments and regulators and reports which budget
+each combination satisfies — at the mean and at the 99th percentile,
+because VR comfort is a tail problem.
+
+Run:  python examples/vr_latency_budget.py
+"""
+
+from repro import CloudSystem, SystemConfig, make_regulator
+from repro.workloads import GCE, PRIVATE_CLOUD, Resolution
+
+BUDGETS = [
+    ("action VR", 25.0),
+    ("action game", 100.0),
+    ("casual", 500.0),
+]
+
+
+def classify(latency_ms: float) -> str:
+    for label, budget in BUDGETS:
+        if latency_ms <= budget:
+            return label
+    return "unusable"
+
+
+def main() -> None:
+    print("VR latency budgets (paper Sec. 3): action VR < 25 ms,")
+    print("action games < 100 ms, casual < 500 ms")
+    print()
+    header = (
+        f"{'bench':6s} {'deployment':11s} {'config':7s} "
+        f"{'mean ms':>8s} {'p99 ms':>7s}  {'mean class':>11s}  {'p99 class':>11s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for bench in ("IM", "ITP"):
+        for platform in (PRIVATE_CLOUD, GCE):
+            for spec in ("NoReg", "ODRMax"):
+                config = SystemConfig(
+                    benchmark=bench,
+                    platform=platform,
+                    resolution=Resolution.R720P,
+                    seed=1,
+                    duration_ms=20000.0,
+                    warmup_ms=3000.0,
+                )
+                result = CloudSystem(config, make_regulator(spec)).run()
+                box = result.mtp_box()
+                print(
+                    f"{bench:6s} {platform.name:11s} {spec:7s} "
+                    f"{box.mean:8.1f} {box.p99:7.1f}  "
+                    f"{classify(box.mean):>11s}  {classify(box.p99):>11s}"
+                )
+    print()
+    print("Takeaways: even the edge deployment sits just above the 25 ms")
+    print("action-VR budget (the paper reaches the same conclusion — cloud VR")
+    print("needs every millisecond ODR saves); on the public cloud, ODR turns")
+    print("'unusable' seconds into solid action-game latency, which no amount")
+    print("of bandwidth fixes for NoReg.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a simulation-based reproduction of OnDemand Rendering (ODR).
+
+Reproduces "Improving Resource and Energy Efficiency for Cloud 3D
+through Excessive Rendering Reduction" (Liu et al., EuroSys 2024): a
+complete discrete-event model of a cloud gaming / cloud VR pipeline,
+the paper's three baseline FPS regulators, ODR itself, hardware
+efficiency models (DRAM / IPC / power), and an experiment harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CloudSystem, SystemConfig, make_regulator
+    from repro.workloads import PRIVATE_CLOUD, Resolution
+
+    config = SystemConfig("IM", PRIVATE_CLOUD, Resolution.R720P, seed=1)
+    result = CloudSystem(config, make_regulator("ODR60")).run()
+    print(result.client_fps, result.fps_gap().mean_gap, result.mean_mtp_ms())
+"""
+
+from repro.core import OnDemandRendering
+from repro.pipeline import CloudSystem, RunResult, SystemConfig
+from repro.regulators import (
+    IntervalMaxRegulator,
+    IntervalRegulator,
+    NoRegulation,
+    Regulator,
+    RemoteVsync,
+    make_regulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudSystem",
+    "IntervalMaxRegulator",
+    "IntervalRegulator",
+    "NoRegulation",
+    "OnDemandRendering",
+    "Regulator",
+    "RemoteVsync",
+    "RunResult",
+    "SystemConfig",
+    "make_regulator",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Post-run analysis utilities.
+
+Tools a downstream user needs to work with simulation output beyond the
+paper's tables:
+
+* :mod:`repro.analysis.frame_log` — export a run's complete per-frame
+  journey (every timestamp, size, drop reason) to CSV and load it back;
+* :mod:`repro.analysis.traces` — record a run's per-stage service-time
+  traces and **replay** them through the pipeline (deterministic
+  what-if studies on identical workloads, or driving the simulator with
+  frame-time traces profiled from a real game);
+* :mod:`repro.analysis.replication` — multi-seed replication with
+  mean/std/confidence intervals, and paired regulator comparisons using
+  common random numbers.
+"""
+
+from repro.analysis.frame_log import export_frame_log, load_frame_log
+from repro.analysis.latency import LatencyBreakdown, latency_breakdown
+from repro.analysis.replication import (
+    MetricSummary,
+    Replication,
+    paired_compare,
+    replicate,
+)
+from repro.analysis.traces import (
+    RecordedStageModel,
+    StageTraces,
+    record_stage_traces,
+)
+
+__all__ = [
+    "LatencyBreakdown",
+    "MetricSummary",
+    "RecordedStageModel",
+    "Replication",
+    "StageTraces",
+    "export_frame_log",
+    "latency_breakdown",
+    "load_frame_log",
+    "paired_compare",
+    "record_stage_traces",
+    "replicate",
+]

@@ -1,0 +1,107 @@
+"""Per-frame CSV export/import of a simulation run.
+
+One row per frame created by the 3D app, with every pipeline timestamp,
+the encoded size, priority/drop flags, and the input ids the frame
+answered.  The CSV round-trips losslessly through
+:func:`load_frame_log`, so external tooling (pandas, spreadsheets) can
+analyze runs without importing this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TYPE_CHECKING, Dict, List, Union
+
+from repro.pipeline.frames import DropReason, Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.system import RunResult
+
+__all__ = ["FRAME_LOG_FIELDS", "export_frame_log", "load_frame_log"]
+
+#: CSV schema, in column order.
+FRAME_LOG_FIELDS = [
+    "frame_id",
+    "triggered_by_input",
+    "priority",
+    "input_ids",
+    "t_created",
+    "t_render_start",
+    "t_render_end",
+    "t_copy_end",
+    "t_encode_end",
+    "t_send_start",
+    "t_send_end",
+    "t_received",
+    "t_displayed",
+    "size_bytes",
+    "dropped",
+]
+
+_TIME_FIELDS = [f for f in FRAME_LOG_FIELDS if f.startswith("t_")]
+
+
+def _frame_row(frame: Frame) -> Dict[str, str]:
+    row: Dict[str, str] = {
+        "frame_id": str(frame.frame_id),
+        "triggered_by_input": "1" if frame.triggered_by_input else "0",
+        "priority": "1" if frame.priority else "0",
+        "input_ids": ";".join(str(i) for i in sorted(frame.input_ids)),
+        "size_bytes": str(frame.size_bytes),
+        "dropped": frame.dropped.value if frame.dropped else "",
+    }
+    for field in _TIME_FIELDS:
+        value = getattr(frame, field)
+        row[field] = "" if value is None else f"{value:.6f}"
+    return row
+
+
+def export_frame_log(result: "RunResult", destination: Union[str, io.TextIOBase]) -> int:
+    """Write every frame of ``result`` to CSV; returns the row count.
+
+    ``destination`` may be a path or an open text file object.
+    """
+    frames = result.system.app.frames
+    own_handle = isinstance(destination, (str, bytes))
+    handle = open(destination, "w", newline="") if own_handle else destination
+    try:
+        writer = csv.DictWriter(handle, fieldnames=FRAME_LOG_FIELDS)
+        writer.writeheader()
+        for frame in frames:
+            writer.writerow(_frame_row(frame))
+    finally:
+        if own_handle:
+            handle.close()
+    return len(frames)
+
+
+def _parse_frame(row: Dict[str, str]) -> Frame:
+    frame = Frame(
+        frame_id=int(row["frame_id"]),
+        triggered_by_input=row["triggered_by_input"] == "1",
+        priority=row["priority"] == "1",
+        input_ids={int(x) for x in row["input_ids"].split(";") if x},
+    )
+    for field in _TIME_FIELDS:
+        text = row.get(field, "")
+        setattr(frame, field, float(text) if text else None)
+    frame.size_bytes = int(row["size_bytes"] or 0)
+    if row.get("dropped"):
+        frame.dropped = DropReason(row["dropped"])
+    return frame
+
+
+def load_frame_log(source: Union[str, io.TextIOBase]) -> List[Frame]:
+    """Load a frame log written by :func:`export_frame_log`."""
+    own_handle = isinstance(source, (str, bytes))
+    handle = open(source, newline="") if own_handle else source
+    try:
+        reader = csv.DictReader(handle)
+        missing = set(FRAME_LOG_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"frame log missing columns: {sorted(missing)}")
+        return [_parse_frame(row) for row in reader]
+    finally:
+        if own_handle:
+            handle.close()

@@ -1,0 +1,138 @@
+"""Multi-seed replication and paired regulator comparisons.
+
+A single seeded run is one draw from the workload distribution; claims
+like "ODR increases client FPS by 5.5 %" deserve replication.  This
+module provides:
+
+:func:`replicate`
+    Run a result factory across seeds and summarize any numeric metrics
+    with mean, standard deviation, and a normal-approximation 95 %
+    confidence interval.
+
+:func:`paired_compare`
+    Compare two regulators **seed by seed** (common random numbers: the
+    same seed produces the same workload randomness for both), then
+    summarize the per-seed deltas.  Pairing removes workload variance
+    from the comparison, exactly like measuring two systems on the same
+    recorded game session.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping
+
+__all__ = ["MetricSummary", "Replication", "paired_compare", "replicate"]
+
+#: z-value for a 95% normal confidence interval.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Replicated summary of one numeric metric."""
+
+    name: str
+    n: int
+    mean: float
+    std: float
+    values: tuple
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95 % CI of the mean."""
+        if self.n < 2:
+            return float("inf")
+        return _Z95 * self.std / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> tuple:
+        hw = self.ci95_halfwidth
+        return (self.mean - hw, self.mean + hw)
+
+    def significantly_positive(self) -> bool:
+        """True if the 95 % CI excludes zero from below."""
+        return self.mean - self.ci95_halfwidth > 0
+
+    def significantly_negative(self) -> bool:
+        return self.mean + self.ci95_halfwidth < 0
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.3f} ± {self.ci95_halfwidth:.3f} (n={self.n})"
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summaries of every metric across the replicated runs."""
+
+    metrics: Mapping[str, MetricSummary]
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.metrics
+
+    def names(self) -> List[str]:
+        return sorted(self.metrics)
+
+
+def _summarize(name: str, values: List[float]) -> MetricSummary:
+    n = len(values)
+    mean = sum(values) / n
+    std = math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1)) if n > 1 else 0.0
+    return MetricSummary(name=name, n=n, mean=mean, std=std, values=tuple(values))
+
+
+def replicate(
+    factory: Callable[[int], Mapping[str, float]],
+    seeds: Iterable[int],
+) -> Replication:
+    """Run ``factory(seed)`` per seed; summarize each returned metric.
+
+    ``factory`` returns a flat ``{metric_name: value}`` mapping (e.g.
+    ``RunResult.summary()``).  Every seed must return the same metric
+    set.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    expected_keys = None
+    for seed in seeds:
+        metrics = dict(factory(seed))
+        if expected_keys is None:
+            expected_keys = set(metrics)
+        elif set(metrics) != expected_keys:
+            raise ValueError(
+                f"seed {seed} returned metrics {sorted(metrics)} != {sorted(expected_keys)}"
+            )
+        for name, value in metrics.items():
+            collected.setdefault(name, []).append(float(value))
+    return Replication(
+        metrics={name: _summarize(name, values) for name, values in collected.items()}
+    )
+
+
+def paired_compare(
+    factory_a: Callable[[int], Mapping[str, float]],
+    factory_b: Callable[[int], Mapping[str, float]],
+    seeds: Iterable[int],
+) -> Replication:
+    """Summarize per-seed metric deltas ``b - a`` under common seeds."""
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    deltas: Dict[str, List[float]] = {}
+    for seed in seeds:
+        a = dict(factory_a(seed))
+        b = dict(factory_b(seed))
+        shared = set(a) & set(b)
+        if not shared:
+            raise ValueError("factories share no metrics")
+        for name in shared:
+            deltas.setdefault(name, []).append(float(b[name]) - float(a[name]))
+    return Replication(
+        metrics={name: _summarize(f"delta:{name}", values) for name, values in deltas.items()}
+    )

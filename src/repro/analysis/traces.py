@@ -1,0 +1,179 @@
+"""Stage-trace recording and replay.
+
+:func:`record_stage_traces` extracts the per-frame service-time
+sequences (render, copy, encode, decode) from a finished run;
+:class:`StageTraces` saves/loads them as CSV.  A
+:class:`RecordedStageModel` wraps one recorded sequence behind the same
+duck interface as :class:`~repro.workloads.distributions.StageTimeModel`
+(``sampler(rng)`` / ``scaled(factor)`` / ``mean_ms``), so a
+:class:`~repro.workloads.benchmarks.BenchmarkProfile` built from
+recorded traces drops into :class:`~repro.pipeline.system.CloudSystem`
+unchanged.
+
+Two use cases:
+
+* **deterministic what-ifs** — replay the exact same workload through a
+  different regulator or platform (stronger than common random numbers:
+  identical per-frame service times);
+* **real-game traces** — a user profiles their own title's frame times
+  (e.g. with an in-engine timer) and drives the simulator with them
+  instead of fitted distributions.
+
+Note: recorded durations include the run's DRAM-contention inflation.
+For like-for-like replays either disable contention in the replay
+(``contention_beta=0``) or record from a contention-free run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Union
+
+from repro.workloads.benchmarks import BenchmarkProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.system import RunResult
+
+__all__ = [
+    "RecordedStageModel",
+    "ReplaySampler",
+    "StageTraces",
+    "record_stage_traces",
+]
+
+#: Stages recorded/replayed (decode is client-side but replayable too).
+TRACE_STAGES = ("render", "copy", "encode", "decode")
+
+
+class ReplaySampler:
+    """Replays a fixed duration sequence, wrapping around at the end."""
+
+    def __init__(self, durations: List[float], scale: float = 1.0):
+        if not durations:
+            raise ValueError("empty trace")
+        if any(d <= 0 for d in durations):
+            raise ValueError("trace durations must be positive")
+        self._durations = list(durations)
+        self._scale = scale
+        self._index = 0
+        self.wraps = 0
+
+    def next(self) -> float:
+        value = self._durations[self._index] * self._scale
+        self._index += 1
+        if self._index == len(self._durations):
+            self._index = 0
+            self.wraps += 1
+        return value
+
+
+@dataclass(frozen=True)
+class RecordedStageModel:
+    """StageTimeModel-compatible wrapper over a recorded duration list."""
+
+    durations: tuple
+    scale: float = 1.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.scale * sum(self.durations) / len(self.durations)
+
+    def scaled(self, factor: float) -> "RecordedStageModel":
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return RecordedStageModel(self.durations, self.scale * factor)
+
+    def sampler(self, rng) -> ReplaySampler:  # rng accepted for interface parity
+        return ReplaySampler(list(self.durations), self.scale)
+
+
+@dataclass
+class StageTraces:
+    """The recorded per-stage service-time sequences of one run."""
+
+    stages: Dict[str, List[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for stage, values in self.stages.items():
+            if not values:
+                raise ValueError(f"empty trace for stage {stage!r}")
+
+    def length(self, stage: str) -> int:
+        return len(self.stages[stage])
+
+    # -- replay ----------------------------------------------------------
+
+    def as_profile(self, base: BenchmarkProfile) -> BenchmarkProfile:
+        """A BenchmarkProfile that replays these traces.
+
+        Non-timing attributes (frame sizes, input rate, power/IPC
+        parameters) are inherited from ``base``.
+        """
+        return BenchmarkProfile(
+            name=f"{base.name}-replay",
+            full_name=f"{base.full_name} (recorded trace)",
+            genre=base.genre,
+            render=RecordedStageModel(tuple(self.stages["render"])),
+            copy=RecordedStageModel(tuple(self.stages["copy"])),
+            encode=RecordedStageModel(tuple(self.stages["encode"])),
+            decode=RecordedStageModel(tuple(self.stages["decode"])),
+            frame_size=base.frame_size,
+            actions_per_second=base.actions_per_second,
+            logic_cpu_weight=base.logic_cpu_weight,
+            ipc_peak=base.ipc_peak,
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, destination: Union[str, io.TextIOBase]) -> None:
+        """Write as long-format CSV (stage, index, duration_ms)."""
+        own = isinstance(destination, (str, bytes))
+        handle = open(destination, "w", newline="") if own else destination
+        try:
+            writer = csv.writer(handle)
+            writer.writerow(["stage", "index", "duration_ms"])
+            for stage, values in sorted(self.stages.items()):
+                for index, value in enumerate(values):
+                    writer.writerow([stage, index, f"{value:.6f}"])
+        finally:
+            if own:
+                handle.close()
+
+    @classmethod
+    def load(cls, source: Union[str, io.TextIOBase]) -> "StageTraces":
+        own = isinstance(source, (str, bytes))
+        handle = open(source, newline="") if own else source
+        try:
+            reader = csv.DictReader(handle)
+            stages: Dict[str, List[float]] = {}
+            for row in reader:
+                stages.setdefault(row["stage"], []).append(float(row["duration_ms"]))
+            if not stages:
+                raise ValueError("empty trace file")
+            return cls(stages=stages)
+        finally:
+            if own:
+                handle.close()
+
+
+def record_stage_traces(result: "RunResult", include_warmup: bool = True) -> StageTraces:
+    """Extract per-stage duration sequences from a finished run.
+
+    ``include_warmup`` keeps the warm-up frames (recommended when the
+    trace will be replayed through a fresh run that has its own
+    warm-up window).
+    """
+    start = 0.0 if include_warmup else result.t_start
+    stages: Dict[str, List[float]] = {}
+    for stage in TRACE_STAGES:
+        records = [r for r in result.trace.records(stage) if r.start >= start]
+        records.sort(key=lambda r: r.start)
+        durations = [r.duration for r in records]
+        if durations:
+            stages[stage] = durations
+    missing = [s for s in TRACE_STAGES if s not in stages]
+    if missing:
+        raise ValueError(f"run produced no trace for stages: {missing}")
+    return StageTraces(stages=stages)

@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro`` / ``odr-sim``.
+
+Subcommands::
+
+    run         run one benchmark under one configuration and print metrics
+    figure      regenerate one of the paper's figures (1,3,4,5,6,7,9,...,13)
+    table2      regenerate Table 2 (FPS gaps, all configurations)
+    summary     regenerate the Sec. 6.6 overall summary
+    userstudy   regenerate the Sec. 6.7 user study surrogate (Figs. 14-15)
+    matrix      run the full 28-configuration matrix, export CSV
+    compare     paired multi-seed comparison of two regulators
+    consolidate multi-tenant sessions-per-server sweep
+    breakdown   decompose MtP latency by pipeline component
+    list        list benchmarks, platforms, and configuration labels
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import paper_configuration_matrix
+from repro.experiments.runner import Runner
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.regulators import make_regulator
+from repro.workloads import BENCHMARKS, PLATFORMS, Resolution
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="odr-sim",
+        description="OnDemand Rendering (EuroSys'24) reproduction harness",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument(
+        "--duration", type=float, default=20000.0, help="measured simulated time (ms)"
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=3000.0, help="warm-up simulated time (ms)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark under one configuration")
+    run.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run.add_argument("regulator", help="e.g. NoReg, Int60, RVSMax, ODR30, ODRMax-noPri")
+    run.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    run.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument(
+        "number",
+        choices=["1", "3", "4", "5", "6", "7", "9", "10", "11", "12", "13"],
+    )
+
+    sub.add_parser("table2", help="regenerate Table 2 (FPS gaps)")
+    sub.add_parser("summary", help="regenerate the Sec. 6.6 overall summary")
+    sub.add_parser("userstudy", help="regenerate the user study surrogate")
+    sub.add_parser("list", help="list benchmarks, platforms, configurations")
+
+    matrix = sub.add_parser(
+        "matrix", help="run the full 28-configuration matrix and export CSV"
+    )
+    matrix.add_argument("output", help="destination CSV path")
+    matrix.add_argument("--ablation", action="store_true",
+                        help="include the ODRMax-noPri rows")
+
+    compare = sub.add_parser(
+        "compare", help="paired multi-seed comparison of two regulators"
+    )
+    compare.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    compare.add_argument("regulator_a")
+    compare.add_argument("regulator_b")
+    compare.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    compare.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+    compare.add_argument("--seeds", type=int, default=5, help="number of seeds")
+
+    consolidate = sub.add_parser(
+        "consolidate", help="multi-tenant consolidation sweep on one server"
+    )
+    consolidate.add_argument("regulator", help="per-session regulator spec")
+    consolidate.add_argument("--max-sessions", type=int, default=4)
+    consolidate.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    consolidate.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+
+    breakdown = sub.add_parser(
+        "breakdown", help="decompose MtP latency by pipeline component"
+    )
+    breakdown.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    breakdown.add_argument("regulator")
+    breakdown.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    breakdown.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    config = SystemConfig(
+        benchmark=args.benchmark,
+        platform=PLATFORMS[args.platform],
+        resolution=Resolution(args.resolution),
+        seed=args.seed,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+    )
+    result = CloudSystem(config, make_regulator(args.regulator)).run()
+    gap = result.fps_gap()
+    lines = [
+        f"benchmark={args.benchmark} platform={args.platform} "
+        f"resolution={args.resolution} regulator={args.regulator}",
+        f"  render FPS : {result.render_fps:8.1f}",
+        f"  encode FPS : {result.encode_fps:8.1f}",
+        f"  client FPS : {result.client_fps:8.1f}",
+        f"  FPS gap    : {gap.mean_gap:8.1f} (max {gap.max_gap:.1f})",
+        f"  bandwidth  : {result.bandwidth_mbps():8.1f} Mbps",
+    ]
+    samples = result.mtp_samples()
+    if samples:
+        box = result.mtp_box()
+        lines.append(f"  MtP latency: {result.mean_mtp_ms():8.1f} ms (p99 {box.p99:.1f})")
+    from repro.hardware import evaluate_hardware
+
+    hw = evaluate_hardware(result)
+    lines.append(
+        f"  hardware   : miss {hw.dram.row_miss_rate*100:.1f}%  "
+        f"read {hw.dram.read_access_ns:.1f} ns  IPC {hw.ipc:.2f}  "
+        f"power {hw.power.total_w:.1f} W"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
+    from repro.experiments import figures
+
+    generators = {
+        "1": lambda: figures.fig01_fps_gap(runner),
+        "3": lambda: figures.fig03_regulation_fps(runner),
+        "4": lambda: figures.fig04_time_variation(seed=args.seed),
+        "5": lambda: figures.fig05_pipeline_schedules(seed=args.seed),
+        "6": lambda: figures.fig06_mtp_latency(runner),
+        "7": lambda: figures.fig07_dram_efficiency(runner),
+        "9": lambda: figures.fig09_qos_averages(runner),
+        "10": lambda: figures.fig10_client_fps_detail(runner),
+        "11": lambda: figures.fig11_mtp_detail(runner),
+        "12": lambda: figures.fig12_memory_efficiency(runner),
+        "13": lambda: figures.fig13_power(runner),
+    }
+    return generators[args.number]()["text"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    runner = Runner(seed=args.seed, duration_ms=args.duration, warmup_ms=args.warmup)
+
+    if args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "figure":
+        print(_cmd_figure(args, runner))
+        if args.number == "5":
+            from repro.experiments.timeline import run_timeline
+
+            print()
+            for spec in ("NoReg", "Int60", "ODR60"):
+                config = SystemConfig(
+                    "IM", PLATFORMS["private"], Resolution("720p"), seed=args.seed,
+                    duration_ms=2000.0, warmup_ms=500.0,
+                )
+                result = CloudSystem(config, make_regulator(spec)).run()
+                print(run_timeline(result, window_ms=250.0, title=f"-- {spec} --"))
+                print()
+    elif args.command == "table2":
+        from repro.experiments.tables import table2
+
+        print(table2(runner)["text"])
+    elif args.command == "summary":
+        from repro.experiments.figures import summary_overall
+
+        print(summary_overall(runner)["text"])
+    elif args.command == "userstudy":
+        from repro.experiments.userstudy import run_user_study
+
+        study = run_user_study(runner, seed=args.seed)
+        print(study["fig14_text"])
+        print()
+        print(study["fig15_text"])
+    elif args.command == "matrix":
+        from repro.experiments.config import paper_configuration_matrix as matrix_fn
+        from repro.experiments.export import records_to_csv
+
+        records = []
+        for config in matrix_fn(include_ablation=args.ablation):
+            for bench in sorted(BENCHMARKS):
+                records.append(runner.run_cell(bench, config))
+        count = records_to_csv(records, args.output)
+        print(f"wrote {count} rows to {args.output}")
+    elif args.command == "compare":
+        from repro.analysis import paired_compare
+        from repro.workloads import PLATFORMS as platforms
+
+        platform = platforms[args.platform]
+        resolution = Resolution(args.resolution)
+
+        def factory(spec):
+            def run_seed(seed):
+                config = SystemConfig(
+                    args.benchmark, platform, resolution, seed=seed,
+                    duration_ms=args.duration, warmup_ms=args.warmup,
+                )
+                return CloudSystem(config, make_regulator(spec)).run().summary()
+
+            return run_seed
+
+        deltas = paired_compare(
+            factory(args.regulator_a), factory(args.regulator_b),
+            seeds=range(1, args.seeds + 1),
+        )
+        print(
+            f"{args.regulator_b} minus {args.regulator_a} on {args.benchmark} "
+            f"({args.platform} {args.resolution}, {args.seeds} paired seeds):"
+        )
+        for name in deltas.names():
+            summary = deltas[name]
+            marker = ""
+            if summary.significantly_positive():
+                marker = "  [+]"
+            elif summary.significantly_negative():
+                marker = "  [-]"
+            print(f"  {name:16s} {summary.mean:+10.3f} ± {summary.ci95_halfwidth:.3f}{marker}")
+    elif args.command == "consolidate":
+        from repro.multitenant import SharedServer
+        from repro.workloads import BENCHMARKS as benches
+
+        names = sorted(benches)
+        platform = PLATFORMS[args.platform]
+        resolution = Resolution(args.resolution)
+        target = float(resolution.default_fps_target)
+        for n in range(1, args.max_sessions + 1):
+            server = SharedServer(
+                benchmarks=[names[i % len(names)] for i in range(n)],
+                platform=platform,
+                resolution=resolution,
+                regulator_factory=lambda i: make_regulator(args.regulator),
+                seed=args.seed,
+                duration_ms=args.duration,
+                warmup_ms=args.warmup,
+            )
+            results = server.run()
+            ok = all(r.client_fps >= target - 1.0 for r in results)
+            fps = ", ".join(f"{r.benchmark}:{r.client_fps:.0f}" for r in results)
+            print(
+                f"  {n} session(s): [{fps}]  GPU {server.gpu_utilization():4.0%}  "
+                f"{server.server_power_w():6.1f} W  "
+                f"{'MEETS TARGET' if ok else 'degraded'}"
+            )
+    elif args.command == "breakdown":
+        from repro.analysis import latency_breakdown
+
+        config = SystemConfig(
+            args.benchmark, PLATFORMS[args.platform], Resolution(args.resolution),
+            seed=args.seed, duration_ms=args.duration, warmup_ms=args.warmup,
+        )
+        result = CloudSystem(config, make_regulator(args.regulator)).run()
+        breakdown = latency_breakdown(result)
+        print(
+            f"MtP latency breakdown: {args.benchmark} / {args.regulator} "
+            f"({args.platform} {args.resolution})"
+        )
+        for name, value in breakdown.components.items():
+            bar = "#" * max(1, int(round(40 * breakdown.fraction(name))))
+            print(f"  {name:14s} {value:9.2f} ms  {bar}")
+        print(f"  {'total':14s} {breakdown.total_ms:9.2f} ms  (n={breakdown.samples})")
+    elif args.command == "list":
+        print("benchmarks : " + ", ".join(sorted(BENCHMARKS)))
+        print("platforms  : " + ", ".join(sorted(PLATFORMS)))
+        print("configurations (paper matrix):")
+        for config in paper_configuration_matrix(include_ablation=True):
+            print(f"  {config.label}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""OnDemand Rendering (ODR) — the paper's contribution (Sec. 5).
+
+ODR is assembled from three components:
+
+1. **Multi-buffering** (Sec. 5.1) — two front/back buffer pairs,
+   Mul-Buf1 between the 3D app and the server proxy and Mul-Buf2
+   between the proxy and the network.  Blocking swap semantics
+   synchronize the rates of rendering, encoding, and transmission
+   without collecting any timing feedback (mechanism:
+   :class:`repro.pipeline.buffers.MultiBuffer`).
+2. **The FPS regulator** (Sec. 5.2, Algorithm 1) — paces *encoding* to
+   the FPS target, and — unlike all prior regulators — *accelerates*
+   (skips its delay) whenever accumulated encode time exceeds the
+   interval budget, so transient spikes do not cost frames
+   (:class:`~repro.core.regulator.FpsRegulatorClock`).
+3. **PriorityFrame** (Sec. 5.3) — input-triggered frames cancel the
+   rendering delay, flush obsolete frames out of both multi-buffers,
+   and bypass the pacing sleep, keeping MtP latency low
+   (:class:`~repro.core.priorityframe.PriorityFrameController`).
+
+:class:`~repro.core.odr.OnDemandRendering` plugs all three into the
+regulator interface.
+"""
+
+from repro.core.odr import OnDemandRendering
+from repro.core.priorityframe import PriorityFrameController
+from repro.core.regulator import FpsRegulatorClock
+
+__all__ = ["FpsRegulatorClock", "OnDemandRendering", "PriorityFrameController"]

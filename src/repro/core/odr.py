@@ -1,0 +1,165 @@
+"""The assembled OnDemand Rendering regulator (paper Sec. 5, Fig. 8).
+
+Data path under ODR::
+
+    3D app --Mul-Buf1--> server proxy (copy+encode, Algorithm 1 pacing)
+           --Mul-Buf2--> network sender --> client
+
+The app blocks on Mul-Buf1's back buffer ("the 3D application pauses
+its rendering until the buffers are swapped"); the proxy blocks on
+Mul-Buf1's swap condition and Mul-Buf2's back buffer; the network
+sender blocks on Mul-Buf2's swap condition.  Those four blocking points
+are the entire synchronization mechanism — no timing feedback crosses
+the network, which is why ODR responds to frame-to-frame variation at
+buffer-swap speed instead of round-trip speed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.priorityframe import PriorityFrameController
+from repro.core.regulator import FpsRegulatorClock
+from repro.pipeline.buffers import MultiBuffer
+from repro.regulators.base import Regulator
+from repro.simcore import Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.app import Application3D
+    from repro.pipeline.frames import Frame
+    from repro.pipeline.inputs import InputEvent
+    from repro.pipeline.system import CloudSystem
+
+__all__ = ["OnDemandRendering"]
+
+
+class OnDemandRendering(Regulator):
+    """ODR: multi-buffering + FPS regulator + PriorityFrame."""
+
+    def __init__(
+        self,
+        target_fps: Optional[float] = None,
+        priority_frames: bool = True,
+        accelerate: bool = True,
+        debt_window_ms: float = 200.0,
+        pacing_margin: float = 0.0,
+    ):
+        super().__init__()
+        self.fps_target = target_fps
+        self.clock = FpsRegulatorClock(
+            target_fps=target_fps,
+            accelerate=accelerate,
+            debt_window_ms=debt_window_ms,
+            pacing_margin=pacing_margin,
+        )
+        self.priority: Optional[PriorityFrameController] = (
+            PriorityFrameController(self) if priority_frames else None
+        )
+        base = f"ODR{target_fps:g}" if target_fps else "ODRMax"
+        suffixes = []
+        if not priority_frames:
+            suffixes.append("noPri")
+        if not accelerate:
+            suffixes.append("noAccel")
+        self.name = base + "".join(f"-{s}" for s in suffixes)
+        self.mulbuf1: Optional[MultiBuffer] = None
+        self.mulbuf2: Optional[MultiBuffer] = None
+        self._pacing_process = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def build(self, system: "CloudSystem") -> None:
+        env = system.env
+        self.mulbuf1 = MultiBuffer(env, name="mulbuf1")
+        self.mulbuf2 = MultiBuffer(env, name="mulbuf2")
+        env.process(self.proxy_loop(system), name="odr-proxy")
+        env.process(self.network_loop(system), name="odr-network")
+
+    # -- app-side hooks -------------------------------------------------------
+
+    def app_wait(self, app: "Application3D"):
+        """Pause rendering until Mul-Buf1's back buffer is free.
+
+        A PriorityFrame flush empties the back buffer, so an armed input
+        implicitly cancels this wait — the gate opens immediately.
+        """
+        while self.mulbuf1.back_occupied:
+            yield self.mulbuf1.back_free()
+
+    def app_submit(self, app: "Application3D", frame: "Frame"):
+        """Deposit the rendered frame into Mul-Buf1's back buffer.
+
+        Only frames already *sitting in buffers* are flushed as obsolete
+        (Sec. 5.3); a frame whose render straddled the input's arrival
+        is submitted normally — it is the newest world state available
+        and "not every priority frame causes frame drop".
+        """
+        yield from self.mulbuf1.put_when_free(frame)
+
+    # -- proxy loop: Algorithm 1 -------------------------------------------------
+
+    def proxy_loop(self, system: "CloudSystem"):
+        """Encode from Mul-Buf1, store to Mul-Buf2, pace via acc_delay."""
+        env = system.env
+        while True:
+            start = env.now
+            # swap Mul-Buf1 (Algorithm 1 lines 17-18; waits until the app
+            # has deposited a new frame) and take the frame to process.
+            # The wait is included in the frame's accounted time, so a
+            # render spike that starves the encoder is repaid by the
+            # acceleration path exactly like an encode spike.
+            yield from self.mulbuf1.swap_when_ready()
+            frame = self.mulbuf1.take_front()
+
+            # encode (lines 5-6) ...
+            yield from system.proxy.encode(frame)
+            # ... and store to Mul-Buf2 (lines 7-8; waits for the network
+            # to free the back buffer — transmission backpressure).
+            yield from self.mulbuf2.put_when_free(frame)
+            elapsed = env.now - start
+
+            if frame.priority:
+                # Priority frames bypass the regulator entirely: they are
+                # "sent ... for encoding and network transmission without
+                # any delay" (Sec. 5.3) and do not consume a pacing slot.
+                continue
+
+            # lines 10-16: accumulate slack; sleep only when positive.
+            sleep_ms = self.clock.frame_processed(elapsed)
+            if sleep_ms <= 0:
+                continue
+            if self.priority is not None and system.app.priority_armed:
+                # A priority frame is already pending: cancel the delay
+                # (the rendering-delay cancellation of Sec. 5.3).
+                self.clock.cancel_debt()
+                continue
+            try:
+                self._pacing_process = env.active_process
+                yield env.timeout(sleep_ms)
+            except Interrupt:
+                # PriorityFrame cut the pacing short.
+                self.clock.cancel_debt()
+            finally:
+                self._pacing_process = None
+
+    def interrupt_pacing(self) -> None:
+        """Cut the proxy's pacing sleep short (PriorityFrame fast path)."""
+        process = self._pacing_process
+        if process is not None and process.is_alive:
+            self._pacing_process = None
+            process.interrupt("priority-frame")
+
+    # -- network loop -----------------------------------------------------------
+
+    def network_loop(self, system: "CloudSystem"):
+        """Transmit from Mul-Buf2's front buffer, swapping when done."""
+        while True:
+            yield from self.mulbuf2.swap_when_ready()
+            frame = self.mulbuf2.take_front()
+            yield from system.network.transmit(frame)
+
+    # -- feedback hooks -----------------------------------------------------------
+
+    def on_server_input(self, app: "Application3D", event: "InputEvent") -> None:
+        if self.priority is not None:
+            self.priority.on_input(app, event)

@@ -1,0 +1,32 @@
+"""Experiment harness: the paper's evaluation, regenerated.
+
+The paper evaluates 6 benchmarks × 28 configurations (2 resolutions ×
+2 platforms × {NoReg, Int, RVS, ODR} × {Max, 30/60}).  This package
+enumerates that matrix (:mod:`repro.experiments.config`), runs it
+(:mod:`repro.experiments.runner`), and renders every table and figure
+of Sections 4 and 6 (:mod:`repro.experiments.figures`,
+:mod:`repro.experiments.tables`, :mod:`repro.experiments.userstudy`).
+
+Each generator returns structured data (plain dicts/dataclasses) plus
+an ASCII rendering, so results can be consumed programmatically or
+printed; ``python -m repro`` exposes them from the command line.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PlatformRes,
+    paper_configuration_matrix,
+    platform_res_combos,
+)
+from repro.experiments.runner import ExperimentRecord, Runner
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRecord",
+    "PlatformRes",
+    "Runner",
+    "format_table",
+    "paper_configuration_matrix",
+    "platform_res_combos",
+]

@@ -1,0 +1,93 @@
+"""Enumeration of the paper's evaluation matrix (Sec. 6.1).
+
+Two resolutions × two platforms, and per platform-resolution one NoReg
+configuration plus three regulators (Int, RVS, ODR) under two QoS goals
+(maximize FPS; or a fixed target — 60 FPS at 720p, 30 FPS at 1080p):
+28 configurations per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads import GCE, PRIVATE_CLOUD, PlatformProfile, Resolution
+
+__all__ = [
+    "ExperimentConfig",
+    "PlatformRes",
+    "paper_configuration_matrix",
+    "platform_res_combos",
+]
+
+
+@dataclass(frozen=True)
+class PlatformRes:
+    """One platform + resolution combination (a figure-group column)."""
+
+    platform: PlatformProfile
+    resolution: Resolution
+
+    @property
+    def label(self) -> str:
+        tag = {"private": "Priv", "gce": "GCE", "local": "Local"}.get(
+            self.platform.name, self.platform.name
+        )
+        return f"{tag}{self.resolution.value}"
+
+    @property
+    def fixed_target(self) -> int:
+        """The fixed QoS goal at this resolution (60 at 720p, 30 at 1080p)."""
+        return self.resolution.default_fps_target
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One (platform, resolution, regulator-spec) cell of the matrix."""
+
+    platform_res: PlatformRes
+    regulator_spec: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.platform_res.label}/{self.regulator_spec}"
+
+
+def platform_res_combos() -> List[PlatformRes]:
+    """The paper's four platform-resolution groups, in reporting order."""
+    return [
+        PlatformRes(PRIVATE_CLOUD, Resolution.R720P),
+        PlatformRes(GCE, Resolution.R720P),
+        PlatformRes(PRIVATE_CLOUD, Resolution.R1080P),
+        PlatformRes(GCE, Resolution.R1080P),
+    ]
+
+
+def regulator_specs_for(combo: PlatformRes, include_ablation: bool = False) -> List[str]:
+    """The seven paper configurations for one platform-resolution group.
+
+    With ``include_ablation`` the Table 2 extra row (ODRMax-noPri) is
+    appended.
+    """
+    target = combo.fixed_target
+    specs = [
+        "NoReg",
+        "IntMax",
+        "RVSMax",
+        "ODRMax",
+        f"Int{target}",
+        f"RVS{target}",
+        f"ODR{target}",
+    ]
+    if include_ablation:
+        specs.append("ODRMax-noPri")
+    return specs
+
+
+def paper_configuration_matrix(include_ablation: bool = False) -> List[ExperimentConfig]:
+    """All 28 paper configurations (32 with the Table 2 ablation rows)."""
+    matrix = []
+    for combo in platform_res_combos():
+        for spec in regulator_specs_for(combo, include_ablation=include_ablation):
+            matrix.append(ExperimentConfig(combo, spec))
+    return matrix

@@ -1,0 +1,89 @@
+"""CSV export of experiment records.
+
+Flattens :class:`~repro.experiments.runner.ExperimentRecord` objects —
+including their box statistics and hardware sub-reports — into one CSV
+row each, for analysis outside this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Union
+
+from repro.experiments.runner import ExperimentRecord
+
+__all__ = ["EXPORT_FIELDS", "record_to_row", "records_to_csv"]
+
+EXPORT_FIELDS = [
+    "benchmark",
+    "platform",
+    "resolution",
+    "regulator",
+    "fps_target",
+    "render_fps",
+    "encode_fps",
+    "client_fps",
+    "client_fps_p1",
+    "client_fps_p99",
+    "fps_gap_mean",
+    "fps_gap_max",
+    "mtp_mean_ms",
+    "mtp_p99_ms",
+    "qos_target",
+    "qos_satisfaction",
+    "row_miss_rate",
+    "read_access_ns",
+    "ipc",
+    "power_w",
+    "bandwidth_mbps",
+    "frames_rendered",
+    "frames_dropped",
+]
+
+
+def record_to_row(record: ExperimentRecord) -> dict:
+    """Flatten one record into a CSV-ready dict."""
+    return {
+        "benchmark": record.benchmark,
+        "platform": record.platform,
+        "resolution": record.resolution,
+        "regulator": record.regulator,
+        "fps_target": "" if record.fps_target is None else f"{record.fps_target:g}",
+        "render_fps": f"{record.render_fps:.3f}",
+        "encode_fps": f"{record.encode_fps:.3f}",
+        "client_fps": f"{record.client_fps:.3f}",
+        "client_fps_p1": f"{record.client_fps_box.p1:.3f}",
+        "client_fps_p99": f"{record.client_fps_box.p99:.3f}",
+        "fps_gap_mean": f"{record.fps_gap_mean:.3f}",
+        "fps_gap_max": f"{record.fps_gap_max:.3f}",
+        "mtp_mean_ms": "" if record.mtp_mean_ms is None else f"{record.mtp_mean_ms:.3f}",
+        "mtp_p99_ms": "" if record.mtp_box is None else f"{record.mtp_box.p99:.3f}",
+        "qos_target": f"{record.qos_target:g}",
+        "qos_satisfaction": f"{record.qos_satisfaction:.4f}",
+        "row_miss_rate": f"{record.row_miss_rate:.4f}",
+        "read_access_ns": f"{record.read_access_ns:.2f}",
+        "ipc": f"{record.ipc:.4f}",
+        "power_w": f"{record.power_w:.2f}",
+        "bandwidth_mbps": f"{record.bandwidth_mbps:.2f}",
+        "frames_rendered": str(record.frames_rendered),
+        "frames_dropped": str(record.frames_dropped),
+    }
+
+
+def records_to_csv(
+    records: Iterable[ExperimentRecord],
+    destination: Union[str, io.TextIOBase],
+) -> int:
+    """Write records to CSV; returns the row count."""
+    rows: List[dict] = [record_to_row(r) for r in records]
+    own = isinstance(destination, (str, bytes))
+    handle = open(destination, "w", newline="") if own else destination
+    try:
+        writer = csv.DictWriter(handle, fieldnames=EXPORT_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    finally:
+        if own:
+            handle.close()
+    return len(rows)

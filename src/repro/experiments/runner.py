@@ -1,0 +1,147 @@
+"""Run experiment cells and collect flat measurement records.
+
+:class:`Runner` executes (benchmark × configuration) cells, memoizing
+results so figure generators that share cells (most of them) do not
+re-simulate.  An :class:`ExperimentRecord` carries every number the
+paper reports for a run: per-stage FPS, FPS-gap statistics, MtP
+latency, windowed QoS satisfaction, DRAM/IPC/power, and bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig, PlatformRes
+from repro.hardware import HardwareReport, evaluate_hardware
+from repro.metrics import BoxStats
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.regulators import make_regulator
+from repro.workloads import BENCHMARKS
+
+__all__ = ["ExperimentRecord", "Runner"]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """All measurements of one (benchmark, configuration, seed) run."""
+
+    benchmark: str
+    config_label: str
+    platform: str
+    resolution: str
+    regulator: str
+    fps_target: Optional[float]
+
+    render_fps: float
+    encode_fps: float
+    client_fps: float
+    client_fps_box: BoxStats
+    fps_gap_mean: float
+    fps_gap_max: float
+
+    mtp_mean_ms: Optional[float]
+    mtp_box: Optional[BoxStats]
+
+    qos_target: float
+    qos_satisfaction: float
+
+    hardware: HardwareReport
+    bandwidth_mbps: float
+    frames_rendered: int
+    frames_dropped: int
+
+    @property
+    def power_w(self) -> float:
+        return self.hardware.power.total_w
+
+    @property
+    def ipc(self) -> float:
+        return self.hardware.ipc
+
+    @property
+    def row_miss_rate(self) -> float:
+        return self.hardware.dram.row_miss_rate
+
+    @property
+    def read_access_ns(self) -> float:
+        return self.hardware.dram.read_access_ns
+
+
+class Runner:
+    """Memoizing executor for the evaluation matrix."""
+
+    def __init__(self, seed: int = 1, duration_ms: float = 20000.0, warmup_ms: float = 3000.0):
+        self.seed = seed
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self._cache: Dict[Tuple[str, str, int], ExperimentRecord] = {}
+
+    def run_cell(
+        self, benchmark: str, config: ExperimentConfig, seed: Optional[int] = None
+    ) -> ExperimentRecord:
+        """Run (or recall) one benchmark × configuration cell."""
+        seed = self.seed if seed is None else seed
+        key = (benchmark, config.label, seed)
+        if key not in self._cache:
+            self._cache[key] = self._execute(benchmark, config, seed)
+        return self._cache[key]
+
+    def run_group(
+        self,
+        combo: PlatformRes,
+        specs: Iterable[str],
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> List[ExperimentRecord]:
+        """Run a platform-resolution group across benchmarks and specs."""
+        benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
+        records = []
+        for spec in specs:
+            for bench in benchmarks:
+                records.append(self.run_cell(bench, ExperimentConfig(combo, spec)))
+        return records
+
+    # -- internals ---------------------------------------------------------
+
+    def _execute(self, benchmark: str, config: ExperimentConfig, seed: int) -> ExperimentRecord:
+        combo = config.platform_res
+        regulator = make_regulator(config.regulator_spec)
+        sys_config = SystemConfig(
+            benchmark=benchmark,
+            platform=combo.platform,
+            resolution=combo.resolution,
+            seed=seed,
+            duration_ms=self.duration_ms,
+            warmup_ms=self.warmup_ms,
+        )
+        result = CloudSystem(sys_config, regulator).run()
+
+        gap = result.fps_gap()
+        mtp_samples = result.mtp_samples()
+        mtp_mean = sum(mtp_samples) / len(mtp_samples) if mtp_samples else None
+        mtp_box = result.mtp_box() if mtp_samples else None
+        qos_target = float(combo.fixed_target)
+        qos = result.qos(qos_target)
+
+        return ExperimentRecord(
+            benchmark=benchmark,
+            config_label=config.label,
+            platform=combo.platform.name,
+            resolution=combo.resolution.value,
+            regulator=regulator.name,
+            fps_target=regulator.fps_target,
+            render_fps=result.render_fps,
+            encode_fps=result.encode_fps,
+            client_fps=result.client_fps,
+            client_fps_box=result.client_fps_box(),
+            fps_gap_mean=gap.mean_gap,
+            fps_gap_max=gap.max_gap,
+            mtp_mean_ms=mtp_mean,
+            mtp_box=mtp_box,
+            qos_target=qos_target,
+            qos_satisfaction=qos.satisfaction if qos.n_windows else 0.0,
+            hardware=evaluate_hardware(result),
+            bandwidth_mbps=result.bandwidth_mbps(),
+            frames_rendered=result.frames_rendered(),
+            frames_dropped=len(result.dropped_frames()),
+        )

@@ -1,0 +1,77 @@
+"""ASCII pipeline timelines (the paper's Fig. 5, as terminal art).
+
+Renders a run's busy intervals as per-stage lanes on a character grid::
+
+    render   |##.###..##.###..##.###
+    encode   |..#####..#####..#####.
+    transmit |.......##.....##......
+
+Each column is one time bucket; a ``#`` marks the stage busy for most
+of that bucket, ``+`` partially busy.  Used by ``python -m repro
+figure 5`` output and handy for eyeballing regulator behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.system import RunResult
+
+from repro.simcore import IntervalTrace
+
+__all__ = ["render_timeline"]
+
+#: Busy fraction at/above which a bucket prints as fully busy.
+FULL_THRESHOLD = 0.6
+#: Busy fraction at/above which a bucket prints as partially busy.
+PARTIAL_THRESHOLD = 0.1
+
+
+def render_timeline(
+    trace: IntervalTrace,
+    stages: Sequence[str],
+    start_ms: float,
+    end_ms: float,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Render busy lanes for ``stages`` over ``[start_ms, end_ms)``."""
+    if end_ms <= start_ms:
+        raise ValueError("empty window")
+    if width < 8:
+        raise ValueError("width too small")
+    bucket = (end_ms - start_ms) / width
+    label_width = max(len(s) for s in stages)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':{label_width}s}  t = {start_ms:.1f} .. {end_ms:.1f} ms "
+        f"({bucket:.2f} ms/column)"
+    )
+    for stage in stages:
+        cells = []
+        for i in range(width):
+            lo = start_ms + i * bucket
+            hi = lo + bucket
+            busy = trace.busy_time(stage, lo, hi) / bucket
+            if busy >= FULL_THRESHOLD:
+                cells.append("#")
+            elif busy >= PARTIAL_THRESHOLD:
+                cells.append("+")
+            else:
+                cells.append(".")
+        lines.append(f"{stage:{label_width}s} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def run_timeline(result: "RunResult", window_ms: float = 250.0, **kwargs) -> str:
+    """Timeline of the first ``window_ms`` of a run's measured region."""
+    return render_timeline(
+        result.trace,
+        ("render", "copy", "encode", "transmit", "decode"),
+        result.t_start,
+        result.t_start + window_ms,
+        **kwargs,
+    )

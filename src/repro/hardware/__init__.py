@@ -1,0 +1,43 @@
+"""Server hardware efficiency models (paper Sec. 4.3 and 6.5).
+
+The paper measures three efficiency effects of FPS regulation on the
+cloud server, none of which a simulator gets for free:
+
+* **DRAM row-buffer behaviour** — rendering, copying, and encoding each
+  move megabytes per frame; when they overlap in time they conflict in
+  the row buffers, raising miss rates and read access times
+  (:mod:`repro.hardware.dram`, driven by the busy-interval trace);
+* **IPC** — slower memory means more stall cycles and lower
+  instructions-per-cycle (:mod:`repro.hardware.cpu`);
+* **wall power** — excessive rendering burns GPU/CPU energy per frame
+  and keeps both devices hot (:mod:`repro.hardware.power`).
+
+:func:`evaluate_hardware` runs all models against a finished
+:class:`~repro.pipeline.system.RunResult` and returns one
+:class:`HardwareReport` — the simulated equivalent of the paper's PMU +
+power-meter measurements.  :mod:`repro.hardware.pmu` additionally
+exposes the raw Skylake-style uncore counters
+(``UNC_M_RPQ_OCCUPANCY``/``UNC_M_RPQ_INSERTS``) the paper derives its
+DRAM read time from.
+"""
+
+from repro.hardware.cpu import IpcModel
+from repro.hardware.energy import EnergyReport, energy_report
+from repro.hardware.dram import DramModel, DramReport
+from repro.hardware.pmu import PmuCounters, simulate_pmu_counters
+from repro.hardware.power import PowerModel, PowerReport
+from repro.hardware.report import HardwareReport, evaluate_hardware
+
+__all__ = [
+    "DramModel",
+    "DramReport",
+    "EnergyReport",
+    "energy_report",
+    "HardwareReport",
+    "IpcModel",
+    "PmuCounters",
+    "PowerModel",
+    "PowerReport",
+    "evaluate_hardware",
+    "simulate_pmu_counters",
+]

@@ -1,0 +1,36 @@
+"""IPC model: memory access time → instructions per cycle.
+
+A classic first-order stall model: the server's frame-processing code
+alternates compute with demand misses, so IPC degrades hyperbolically
+with the mean DRAM read access time::
+
+    IPC = ipc_peak × C / (C + t_read_ns)
+
+``C`` is the workload's compute-per-miss constant; ``ipc_peak`` is the
+benchmark's IPC with free memory.  The constant is calibrated so the
+paper's InMind split holds: read time 68 ns → 47 ns must yield ≈ +21 %
+IPC (Fig. 7c / Sec. 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.dram import DramReport
+
+__all__ = ["IpcModel"]
+
+
+@dataclass(frozen=True)
+class IpcModel:
+    """Read-time → IPC mapping."""
+
+    #: Compute-per-miss constant (ns of useful work per memory access).
+    compute_constant_ns: float = 53.0
+
+    def evaluate(self, dram: DramReport, ipc_peak: float) -> float:
+        """IPC for a benchmark with the given zero-latency peak IPC."""
+        if ipc_peak <= 0:
+            raise ValueError("ipc_peak must be positive")
+        c = self.compute_constant_ns
+        return ipc_peak * c / (c + dram.read_access_ns)

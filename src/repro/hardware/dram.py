@@ -1,0 +1,96 @@
+"""DRAM row-buffer contention model.
+
+The paper's mechanism (Sec. 6.5): "frame rendering, copying, and
+encoding operations are all pipelined ... and executed in their own
+threads/processes.  Hence, frequent rendering will increase the
+probability that these tasks execute simultaneously.  Simultaneous
+execution leads to simultaneous DRAM access and thus DRAM row buffer
+contention, and in turn ... slower memory operations and lower IPC."
+
+The model computes, from the run's busy-interval trace, the fraction of
+time exactly *k* memory-intensive stages overlapped, and maps that to:
+
+* **row-buffer miss rate** — a base rate (the workload's intrinsic
+  locality) plus a contention term per overlap level;
+* **DRAM read access time** — a row-hit floor, plus the miss-rate
+  weighted conflict penalty, plus a read-queue occupancy term that also
+  grows with overlap.
+
+Parameters are calibrated against the paper's InMind measurements
+(Fig. 7): NoReg ≈ 70 % miss / 68 ns read with the pipeline fully
+overlapped, Int60 ≈ 61 % / 47 ns with overlap mostly eliminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.simcore import IntervalTrace
+from repro.simcore.tracing import overlap_profile
+
+__all__ = ["DramModel", "DramReport"]
+
+#: The memory-intensive pipeline stages on the server.
+MEMORY_STAGES = ("render", "copy", "encode")
+
+
+@dataclass(frozen=True)
+class DramReport:
+    """DRAM behaviour of one run."""
+
+    #: Row-buffer miss rate in [0, 1] (empty + conflict misses).
+    row_miss_rate: float
+    #: Mean DRAM read access time (ns), controller-issue to data-return.
+    read_access_ns: float
+    #: Fraction of time >= 2 memory-intensive stages overlapped.
+    overlap2_frac: float
+    #: Fraction of time all 3 overlapped.
+    overlap3_frac: float
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Overlap → row-miss/read-time mapping (calibrated to Fig. 7)."""
+
+    #: Intrinsic (uncontended) row-buffer miss rate of frame processing.
+    base_miss_rate: float = 0.594
+    #: Extra miss rate while >= 2 stages overlap.
+    miss_per_overlap2: float = 0.106
+    #: Additional extra miss rate while all 3 overlap.
+    miss_per_overlap3: float = 0.04
+    #: Row-hit access time (ns).
+    t_row_hit_ns: float = 19.5
+    #: Extra access time for a row miss (precharge + activate), ns.
+    t_miss_penalty_ns: float = 40.0
+    #: Read-queue occupancy penalty at full overlap, ns.
+    t_queue_ns: float = 20.5
+
+    def evaluate(
+        self,
+        trace: IntervalTrace,
+        start_ms: float,
+        end_ms: float,
+        stages: Sequence[str] = MEMORY_STAGES,
+    ) -> DramReport:
+        """Evaluate DRAM behaviour over ``[start_ms, end_ms)``."""
+        profile: Dict[int, float] = overlap_profile(trace, stages, start_ms, end_ms)
+        overlap2 = sum(frac for level, frac in profile.items() if level >= 2)
+        overlap3 = sum(frac for level, frac in profile.items() if level >= 3)
+        miss = (
+            self.base_miss_rate
+            + self.miss_per_overlap2 * overlap2
+            + self.miss_per_overlap3 * overlap3
+        )
+        miss = min(miss, 1.0)
+        read_ns = (
+            self.t_row_hit_ns
+            + miss * self.t_miss_penalty_ns
+            + self.t_queue_ns * overlap2
+        )
+        return DramReport(
+            row_miss_rate=miss,
+            read_access_ns=read_ns,
+            overlap2_frac=overlap2,
+            overlap3_frac=overlap3,
+        )

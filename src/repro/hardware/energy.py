@@ -1,0 +1,87 @@
+"""Energy accounting: joules per delivered frame.
+
+The paper reports wall power; for capacity planning the more actionable
+number is energy **per frame the client actually displays** — the
+quantity excessive rendering inflates (energy spent on frames that are
+rendered and thrown away is charged to the frames that survive).
+
+Two views:
+
+* **average** J/frame = total energy / delivered frames.  Dominated by
+  idle power at low frame rates, so a 60 FPS-regulated server can look
+  *worse* per frame than a free-running one — a real effect worth
+  surfacing (consolidation, not regulation, amortizes idle power; see
+  :mod:`repro.multitenant`).
+* **marginal** J/frame = (total − idle) energy / delivered frames: the
+  energy each additional delivered frame actually costs.  This is the
+  number excessive rendering corrupts: under NoReg every delivered
+  frame drags the cost of the discarded ones with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.hardware.power import PowerModel, PowerReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.system import RunResult
+
+__all__ = ["EnergyReport", "energy_report"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one run."""
+
+    power: PowerReport
+    window_s: float
+    delivered_frames: int
+    rendered_frames: int
+
+    @property
+    def total_j(self) -> float:
+        return self.power.total_w * self.window_s
+
+    @property
+    def dynamic_j(self) -> float:
+        """Energy above idle over the window."""
+        return (self.power.total_w - self.power.idle_w) * self.window_s
+
+    @property
+    def avg_j_per_delivered_frame(self) -> float:
+        if self.delivered_frames == 0:
+            raise ValueError("no frames delivered")
+        return self.total_j / self.delivered_frames
+
+    @property
+    def marginal_j_per_delivered_frame(self) -> float:
+        """Dynamic energy per frame the client displayed."""
+        if self.delivered_frames == 0:
+            raise ValueError("no frames delivered")
+        return self.dynamic_j / self.delivered_frames
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of rendered frames that never reached the client."""
+        if self.rendered_frames == 0:
+            raise ValueError("no frames rendered")
+        return 1.0 - self.delivered_frames / self.rendered_frames
+
+
+def energy_report(result: "RunResult", model: PowerModel = PowerModel()) -> EnergyReport:
+    """Compute the energy accounting of a finished run."""
+    window_s = (result.t_end - result.t_start) / 1000.0
+    delivered = len(
+        [t for t in result.counter.times("decode") if result.t_start <= t < result.t_end]
+    )
+    rendered = len(
+        [t for t in result.counter.times("render") if result.t_start <= t < result.t_end]
+    )
+    return EnergyReport(
+        power=model.evaluate(result),
+        window_s=window_s,
+        delivered_frames=delivered,
+        rendered_frames=rendered,
+    )

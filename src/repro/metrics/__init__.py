@@ -1,0 +1,34 @@
+"""Measurement machinery for simulated cloud-3D runs.
+
+Mirrors what the Pictor benchmarking framework measures on the real
+system:
+
+* per-stage frame rates (render / encode / decode FPS) and the **FPS
+  gap** between cloud rendering and client decoding — the paper's
+  headline inefficiency metric (Fig. 1, Fig. 3, Table 2);
+* **motion-to-photon (MtP) latency** from user input to the displayed
+  responding frame (Fig. 6, Fig. 9b, Fig. 11);
+* windowed **QoS checks** — "ODR could ensure 30 or 60 FPS for every
+  200 ms interval at least" (Sec. 5.2);
+* distribution summaries matching the paper's box plots (1 %ile,
+  25 %ile, mean, 75 %ile, 99 %ile).
+"""
+
+from repro.metrics.counters import FpsCounter, FpsGapReport, StageFps
+from repro.metrics.latency import LatencySample, MtpLatencyTracker
+from repro.metrics.qos import QosReport, qos_satisfaction
+from repro.metrics.stats import BoxStats, mean, percentile, summarize
+
+__all__ = [
+    "BoxStats",
+    "FpsCounter",
+    "FpsGapReport",
+    "LatencySample",
+    "MtpLatencyTracker",
+    "QosReport",
+    "StageFps",
+    "mean",
+    "percentile",
+    "qos_satisfaction",
+    "summarize",
+]

@@ -1,0 +1,133 @@
+"""Per-stage frame-rate accounting and FPS-gap computation.
+
+The paper counts, for every one-second window, how many frames completed
+each pipeline step: *render FPS* in the cloud, *encode FPS* in the server
+proxy, and *decode FPS* at the client ("client FPS").  The **FPS gap**
+is the difference between cloud rendering FPS and client decoding FPS —
+every frame in the gap was rendered and then thrown away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import BoxStats, summarize
+from repro.simcore.tracing import windowed_counts
+
+__all__ = ["FpsCounter", "FpsGapReport", "StageFps"]
+
+#: Canonical pipeline step names (paper Fig. 2 steps 3-7).
+RENDER = "render"
+COPY = "copy"
+ENCODE = "encode"
+TRANSMIT = "transmit"
+DECODE = "decode"
+
+
+@dataclass(frozen=True)
+class StageFps:
+    """FPS summary of one pipeline stage over a run."""
+
+    stage: str
+    mean_fps: float
+    series: List[float]
+    box: BoxStats
+
+
+@dataclass(frozen=True)
+class FpsGapReport:
+    """Render-vs-client FPS gap over a run.
+
+    ``mean_gap`` is the average of per-window (render − decode) counts;
+    ``max_gap`` the largest window gap — the two columns of Table 2.
+    """
+
+    mean_gap: float
+    max_gap: float
+    series: List[float]
+
+
+@dataclass
+class FpsCounter:
+    """Records frame completion timestamps per pipeline stage.
+
+    Pipeline stages call :meth:`record` with the stage name and the
+    simulation time at which a frame finished that step; the analysis
+    methods then bucket the timestamps into windows.
+    """
+
+    window_ms: float = 1000.0
+    _events: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, stage: str, time_ms: float) -> None:
+        """Record that a frame completed ``stage`` at ``time_ms``."""
+        self._events.setdefault(stage, []).append(time_ms)
+
+    def count(self, stage: str) -> int:
+        """Total frames that completed ``stage``."""
+        return len(self._events.get(stage, []))
+
+    def times(self, stage: str) -> List[float]:
+        """Raw completion timestamps for ``stage``."""
+        return list(self._events.get(stage, []))
+
+    def stages(self) -> List[str]:
+        return sorted(self._events)
+
+    # -- analysis --------------------------------------------------------
+
+    def fps_series(
+        self, stage: str, start: float, end: float, window_ms: Optional[float] = None
+    ) -> List[float]:
+        """Per-window FPS of ``stage`` over ``[start, end)``.
+
+        Counts are scaled to frames-per-second regardless of window size.
+        """
+        window = window_ms if window_ms is not None else self.window_ms
+        counts = windowed_counts(self._events.get(stage, []), window, start, end)
+        scale = 1000.0 / window
+        return [c * scale for c in counts]
+
+    def mean_fps(self, stage: str, start: float, end: float) -> float:
+        """Average FPS of ``stage`` over ``[start, end)``."""
+        if end <= start:
+            raise ValueError("empty measurement window")
+        in_range = [t for t in self._events.get(stage, []) if start <= t < end]
+        return len(in_range) * 1000.0 / (end - start)
+
+    def stage_fps(self, stage: str, start: float, end: float) -> StageFps:
+        """Full FPS summary (mean, per-window series, box stats)."""
+        series = self.fps_series(stage, start, end)
+        if not series:
+            raise ValueError(f"no complete windows for stage {stage!r}")
+        return StageFps(
+            stage=stage,
+            mean_fps=self.mean_fps(stage, start, end),
+            series=series,
+            box=summarize(series),
+        )
+
+    def fps_gap(
+        self,
+        start: float,
+        end: float,
+        cloud_stage: str = RENDER,
+        client_stage: str = DECODE,
+    ) -> FpsGapReport:
+        """Windowed FPS gap between cloud rendering and client decoding.
+
+        Negative per-window gaps are clamped to zero: a window where the
+        client decoded more frames than were rendered (draining queued
+        frames) is not "excessive rendering".
+        """
+        cloud = self.fps_series(cloud_stage, start, end)
+        client = self.fps_series(client_stage, start, end)
+        if not cloud or not client:
+            raise ValueError("no complete windows for gap computation")
+        series = [max(0.0, c - d) for c, d in zip(cloud, client)]
+        return FpsGapReport(
+            mean_gap=sum(series) / len(series),
+            max_gap=max(series),
+            series=series,
+        )

@@ -1,0 +1,88 @@
+"""Frame-pacing analysis.
+
+Mean FPS hides how *evenly* frames arrive; perceived smoothness is a
+pacing property.  Given a sequence of frame timestamps (decode or
+photon times), :func:`pacing_report` summarizes the inter-frame gaps
+and counts **stutter events** — gaps exceeding a multiple of the median
+gap, the classic frame-time-spike definition used by frame-analysis
+tools.  The user-study surrogate's stutter question and the VRR display
+comparison both build on these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.metrics.stats import mean, percentile, stddev
+
+__all__ = ["PacingReport", "pacing_report"]
+
+
+@dataclass(frozen=True)
+class PacingReport:
+    """Inter-frame-gap summary of one frame stream."""
+
+    n_frames: int
+    mean_gap_ms: float
+    median_gap_ms: float
+    p99_gap_ms: float
+    max_gap_ms: float
+    #: Standard deviation of gaps (raw jitter).
+    jitter_ms: float
+    #: Gaps exceeding ``stutter_factor`` x median.
+    stutter_events: int
+    stutter_factor: float
+
+    @property
+    def mean_fps(self) -> float:
+        return 1000.0 / self.mean_gap_ms
+
+    @property
+    def stutter_rate_per_minute(self) -> float:
+        total_s = self.mean_gap_ms * (self.n_frames - 1) / 1000.0
+        if total_s <= 0:
+            raise ValueError("stream too short")
+        return self.stutter_events * 60.0 / total_s
+
+    @property
+    def badness(self) -> float:
+        """A single smoothness score: p99 gap relative to the median.
+
+        1.0 is perfectly even pacing; 2.0 means the worst percentile of
+        frames waited twice the typical time.
+        """
+        return self.p99_gap_ms / self.median_gap_ms
+
+
+def pacing_report(
+    frame_times: Sequence[float],
+    stutter_factor: float = 2.0,
+) -> PacingReport:
+    """Analyze the pacing of a timestamp sequence (must be sorted).
+
+    Raises ``ValueError`` on fewer than 3 frames or unsorted input.
+    """
+    times = list(frame_times)
+    if len(times) < 3:
+        raise ValueError("need at least 3 frames for pacing analysis")
+    if stutter_factor <= 1.0:
+        raise ValueError("stutter_factor must exceed 1")
+    gaps: List[float] = []
+    for a, b in zip(times, times[1:]):
+        if b < a:
+            raise ValueError("frame times must be sorted")
+        gaps.append(b - a)
+    median = percentile(gaps, 50)
+    if median <= 0:
+        raise ValueError("degenerate stream (zero median gap)")
+    return PacingReport(
+        n_frames=len(times),
+        mean_gap_ms=mean(gaps),
+        median_gap_ms=median,
+        p99_gap_ms=percentile(gaps, 99),
+        max_gap_ms=max(gaps),
+        jitter_ms=stddev(gaps),
+        stutter_events=sum(1 for g in gaps if g > stutter_factor * median),
+        stutter_factor=stutter_factor,
+    )

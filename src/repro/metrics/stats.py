@@ -1,0 +1,92 @@
+"""Distribution summaries matching the paper's reporting style.
+
+The paper's box plots (Fig. 10, Fig. 11) show the 1 %ile, 25 %ile, mean,
+75 %ile, and 99 %ile; :class:`BoxStats` captures exactly those five
+numbers plus the count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BoxStats", "mean", "percentile", "stddev", "summarize"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for singleton input."""
+    values = list(values)
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (``pct`` in [0, 100])."""
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile {pct} outside [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi or ordered[lo] == ordered[hi]:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The five-number summary used throughout the paper's figures."""
+
+    count: int
+    mean: float
+    p1: float
+    p25: float
+    p75: float
+    p99: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p1": self.p1,
+            "p25": self.p25,
+            "p75": self.p75,
+            "p99": self.p99,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.1f} "
+            f"[p1={self.p1:.1f} p25={self.p25:.1f} p75={self.p75:.1f} p99={self.p99:.1f}]"
+        )
+
+
+def summarize(values: Sequence[float]) -> BoxStats:
+    """Compute the paper-style box summary of ``values``."""
+    values = list(values)
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return BoxStats(
+        count=len(values),
+        mean=mean(values),
+        p1=percentile(values, 1),
+        p25=percentile(values, 25),
+        p75=percentile(values, 75),
+        p99=percentile(values, 99),
+    )

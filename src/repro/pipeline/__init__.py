@@ -1,0 +1,40 @@
+"""The simulated cloud-3D system (paper Fig. 2).
+
+A frame's life: the 3D **app** renders it (step 3), the **server proxy**
+copies and encodes it (steps 4-5), the **network** transmits it (step
+6), and the **client** decodes and displays it (step 7).  User inputs
+travel the reverse path (steps 1-2).  All stages run as concurrent
+simcore processes, pipelined exactly like the real software stack.
+
+What sits *between* the stages is the crux of the paper:
+
+* :class:`~repro.pipeline.buffers.Mailbox` — the latest-frame-wins slot
+  used by NoReg/Int/RVS stacks; overwritten frames are the "excessive
+  rendering" the paper attacks;
+* :class:`~repro.pipeline.buffers.MultiBuffer` — ODR's front/back
+  swap-synchronized buffer (Mul-Buf1 / Mul-Buf2);
+* :class:`~repro.pipeline.buffers.ByteBudgetQueue` — the TCP-send-
+  buffer-like queue whose congestion produces NoReg's seconds-scale MtP
+  latency on GCE.
+
+:class:`~repro.pipeline.system.CloudSystem` wires everything together
+for a given benchmark, platform, resolution, and regulator.
+"""
+
+from repro.pipeline.buffers import ByteBudgetQueue, Mailbox, MultiBuffer
+from repro.pipeline.frames import DropReason, Frame
+from repro.pipeline.inputs import InputEvent, InputKind
+from repro.pipeline.system import CloudSystem, RunResult, SystemConfig
+
+__all__ = [
+    "ByteBudgetQueue",
+    "CloudSystem",
+    "DropReason",
+    "Frame",
+    "InputEvent",
+    "InputKind",
+    "Mailbox",
+    "MultiBuffer",
+    "RunResult",
+    "SystemConfig",
+]

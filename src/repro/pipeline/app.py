@@ -1,0 +1,142 @@
+"""The 3D application's render loop (paper Fig. 2, steps 3-4).
+
+The loop mirrors a real game's main loop as seen through ODR's API
+hooks (Sec. 5.4):
+
+1. **gate** — the regulator's rendering delay.  In the real system this
+   is the code ODR injects directly after ``glXSwapBuffers``; here it is
+   ``regulator.app_wait``.  NoReg returns immediately (free-running),
+   Int sleeps to the interval grid, RVS waits for the vblank schedule,
+   ODR blocks until Mul-Buf1's back buffer is free.
+2. **input drain** — all inputs that arrived since the previous frame
+   are combined into this frame (the "input combining" all the paper's
+   benchmarks perform); the ``XNextEvent`` hook analogue.
+3. **render** — one GPU render of stochastic duration.
+4. **copy** — the framebuffer readback into the server proxy (VirtualGL
+   performs this inside the ``glXSwapBuffers`` call, i.e. in the app's
+   frame loop, pipelined with the proxy's encoding of earlier frames).
+5. **submit** — ``regulator.app_submit`` hands the frame downstream
+   (mailbox offer, or Mul-Buf1 back-buffer deposit for ODR).
+
+Render and copy times are inflated by the live DRAM-contention
+multiplier (:mod:`repro.pipeline.contention`): when the encoder is
+hammering memory at the same time, the app's own frame takes longer —
+the feedback loop behind the paper's Sec. 4.3 analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, List, Set
+
+from repro.pipeline.frames import Frame
+from repro.pipeline.inputs import InputEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.system import CloudSystem
+
+__all__ = ["Application3D"]
+
+
+class Application3D:
+    """The (closed-source) interactive 3D application, as hooked by ODR."""
+
+    def __init__(self, system: "CloudSystem"):
+        self.system = system
+        self.env = system.env
+        self._render_sampler = system.samplers["render"]
+        self._copy_sampler = system.samplers["copy"]
+        #: Inputs forwarded by the server proxy, awaiting the next frame.
+        self.pending_inputs: List[InputEvent] = []
+        #: Inputs that arrived while the loop slept in an injected
+        #: regulation delay (see Regulator.sleep_masks_inputs); they are
+        #: promoted to pending one frame late.
+        self.masked_inputs: List[InputEvent] = []
+        #: True while the loop is blocked in the regulator's gate.
+        self.in_gate = False
+        #: Input ids inherited from frames flushed as obsolete; absorbed
+        #: into the next frame created.
+        self.inherited_ids: Set[int] = set()
+        #: Set by ODR's PriorityFrame when a discrete input arrives; the
+        #: next frame is flagged as a priority frame.
+        self.priority_armed = False
+        self._frame_ids = itertools.count(1)
+        self.frames: List[Frame] = []
+        self.process = self.env.process(self.run(), name="app")
+
+    # -- input path ------------------------------------------------------
+
+    def deliver_input(self, event: InputEvent) -> None:
+        """Server proxy forwards an input to the app (paper step 2)."""
+        if self.system.regulator.sleep_masks_inputs and self.in_gate:
+            # The loop is asleep inside the injected regulation delay;
+            # the X event is read only after one more sleep+render cycle.
+            self.masked_inputs.append(event)
+        else:
+            self.pending_inputs.append(event)
+        self.system.regulator.on_server_input(self, event)
+
+    def _begin_frame(self) -> Frame:
+        """Drain pending inputs (input combining) and create the frame."""
+        inputs, self.pending_inputs = self.pending_inputs, []
+        # Inputs masked by a regulation sleep become visible to the *next*
+        # frame's drain.
+        self.pending_inputs, self.masked_inputs = self.masked_inputs, []
+        new_action_ids = {e.input_id for e in inputs if e.is_action}
+        frame = Frame(
+            frame_id=next(self._frame_ids),
+            triggered_by_input=bool(new_action_ids),
+            priority=self.priority_armed and bool(new_action_ids),
+            input_ids=new_action_ids | self.inherited_ids,
+            t_created=self.env.now,
+        )
+        self.inherited_ids = set()
+        self.priority_armed = False
+        self.frames.append(frame)
+        return frame
+
+    def _busy_stage(self, stage: str, sampler):
+        """Generator: run one contention-inflated stage and trace it.
+
+        Rendering additionally acquires the (possibly shared) GPU when
+        the system defines one — sessions consolidated onto one server
+        serialize their renders on it (see :mod:`repro.multitenant`).
+        """
+        system = self.system
+        resource = system.gpu_resource if stage == "render" else None
+        request = None
+        if resource is not None:
+            request = resource.request()
+            yield request
+        try:
+            start = self.env.now
+            duration = sampler.next() * system.contention.multiplier(stage)
+            system.contention.enter(stage)
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                system.contention.exit(stage)
+            system.trace.record(stage, start, self.env.now)
+        finally:
+            if request is not None:
+                resource.release(request)
+
+    # -- the main loop -----------------------------------------------------
+
+    def run(self):
+        env = self.env
+        system = self.system
+        while True:
+            self.in_gate = True
+            try:
+                yield from system.regulator.app_wait(self)
+            finally:
+                self.in_gate = False
+            frame = self._begin_frame()
+            frame.t_render_start = env.now
+            yield from self._busy_stage("render", self._render_sampler)
+            frame.t_render_end = env.now
+            system.counter.record("render", env.now)
+            yield from self._busy_stage("copy", self._copy_sampler)
+            frame.t_copy_end = env.now
+            yield from system.regulator.app_submit(self, frame)

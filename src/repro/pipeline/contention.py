@@ -1,0 +1,98 @@
+"""Memory-contention feedback on server-side stage times.
+
+The paper's Sec. 4.3/6.5 finding is that excessive rendering does not
+just waste cycles — it actively *slows the pipeline down*: rendering,
+copying, and encoding are memory-intensive (megabytes per frame), and
+when they execute simultaneously they contend for DRAM row buffers,
+inflating every stage's processing time.  That feedback is why ODRMax's
+client FPS *exceeds* NoReg's (InMind: 93 → 107 FPS) even though ODR
+renders far fewer frames.
+
+:class:`ContentionTracker` models this first-order effect: each
+memory-intensive stage registers while busy, and a stage's drawn
+service time is multiplied by ``1 + beta × (other busy stages)`` at the
+moment it starts.  Under NoReg the renderer and encoder are both ~100 %
+busy, so each runs ~``(1+beta)×`` slower than its uncontended time;
+under regulation the overlap—and the penalty—shrinks.
+
+The same busy intervals drive the offline DRAM/IPC/power models in
+:mod:`repro.hardware`; this tracker is only the *online* feedback loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = ["ContentionTracker"]
+
+
+class ContentionTracker:
+    """Tracks concurrently-busy memory-intensive stages.
+
+    Parameters
+    ----------
+    beta:
+        Fractional slowdown per concurrently-busy other stage.  The
+        default is calibrated so NoReg's fully-overlapped pipeline runs
+        ~25 % slower than an uncontended one, which reproduces the
+        paper's InMind NoReg(93) vs ODRMax(107) client-FPS split.
+    stages:
+        The memory-intensive stage names participating in contention.
+    max_multiplier:
+        Saturation bound: row-buffer interference does not grow without
+        limit — once the memory system is fully thrashed, more
+        contenders mostly queue rather than slow each other further.
+        Relevant when many sessions share a server
+        (:mod:`repro.multitenant`); a single session never reaches it.
+    """
+
+    DEFAULT_STAGES: FrozenSet[str] = frozenset({"render", "copy", "encode"})
+
+    def __init__(
+        self,
+        beta: float = 0.25,
+        stages: FrozenSet[str] = DEFAULT_STAGES,
+        max_multiplier: float = 2.0,
+    ):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        if max_multiplier < 1.0:
+            raise ValueError("max_multiplier must be >= 1")
+        self.beta = beta
+        self.stages = frozenset(stages)
+        self.max_multiplier = max_multiplier
+        self._busy: Dict[str, int] = {}
+
+    def enter(self, stage: str) -> None:
+        """Mark ``stage`` busy (nested entries are counted)."""
+        if stage in self.stages:
+            self._busy[stage] = self._busy.get(stage, 0) + 1
+
+    def exit(self, stage: str) -> None:
+        """Mark one busy entry of ``stage`` finished."""
+        if stage not in self.stages:
+            return
+        count = self._busy.get(stage, 0)
+        if count <= 0:
+            raise RuntimeError(f"exit of idle stage {stage!r}")
+        if count == 1:
+            del self._busy[stage]
+        else:
+            self._busy[stage] = count - 1
+
+    def busy_others(self, stage: str) -> int:
+        """Busy memory-intensive activity competing with a new ``stage``.
+
+        Counts every currently-busy entry — including other *instances*
+        of the same stage (possible when several sessions share the
+        server, see :mod:`repro.multitenant`).  The caller itself has
+        not entered yet, so in a single-session system this equals the
+        number of other busy stages.
+        """
+        return sum(self._busy.values())
+
+    def multiplier(self, stage: str) -> float:
+        """Service-time multiplier for ``stage`` starting right now."""
+        if stage not in self.stages:
+            return 1.0
+        return min(1.0 + self.beta * self.busy_others(stage), self.max_multiplier)

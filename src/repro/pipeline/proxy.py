@@ -1,0 +1,60 @@
+"""The server proxy's encode stage (paper Fig. 2, step 5).
+
+The proxy encodes copied frames into video frames.  *Who drives* the
+encode loop is regulator policy (mailbox pull for the conventional
+stack, Algorithm 1 for ODR); this module provides the mechanism:
+:meth:`ServerProxy.encode` performs one stochastic-service-time encode,
+inflated by the live DRAM-contention multiplier, records the busy
+interval for the hardware models, stamps timestamps, and assigns the
+encoded frame size.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.pipeline.frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.system import CloudSystem
+
+__all__ = ["ServerProxy"]
+
+
+class ServerProxy:
+    """Frame encode stage on the cloud server."""
+
+    def __init__(self, system: "CloudSystem"):
+        self.system = system
+        self.env = system.env
+        self._encode_sampler = system.samplers["encode"]
+        self.encoded_count = 0
+
+    def encode(self, frame: Frame):
+        """Generator: encode ``frame`` into a video frame (step 5).
+
+        Acquires a slot of the (possibly shared) encoder pool when the
+        system defines one (see :mod:`repro.multitenant`).
+        """
+        env = self.env
+        system = self.system
+        request = None
+        if system.encode_resource is not None:
+            request = system.encode_resource.request()
+            yield request
+        start = env.now
+        duration = self._encode_sampler.next() * system.contention.multiplier("encode")
+        system.contention.enter("encode")
+        try:
+            yield env.timeout(duration)
+        finally:
+            system.contention.exit("encode")
+        system.trace.record("encode", start, env.now)
+        frame.t_encode_end = env.now
+        # Read the sampler through the system so quality-ladder wrappers
+        # (repro.pipeline.abr) spliced in after construction take effect.
+        frame.size_bytes = system.size_sampler.next()
+        self.encoded_count += 1
+        system.counter.record("encode", env.now)
+        if request is not None:
+            system.encode_resource.release(request)

@@ -1,0 +1,297 @@
+"""Top-level wiring of the simulated cloud-3D system.
+
+:class:`CloudSystem` assembles one complete deployment — benchmark
+workload, platform, resolution, regulator — into a running simulation,
+and :meth:`CloudSystem.run` executes it and returns a
+:class:`RunResult` with everything the paper measures: per-stage FPS,
+FPS gaps, MtP latency, QoS-window satisfaction, busy-interval traces
+(for the hardware models), drop statistics, and bandwidth usage.
+
+The measurement window excludes a warm-up period, mirroring the usual
+benchmarking practice of discarding start-up transients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+from repro.metrics import (
+    BoxStats,
+    FpsCounter,
+    FpsGapReport,
+    MtpLatencyTracker,
+    QosReport,
+    qos_satisfaction,
+)
+from repro.pipeline.app import Application3D
+from repro.pipeline.client import Client
+from repro.pipeline.contention import ContentionTracker
+from repro.pipeline.frames import DropReason, Frame
+from repro.pipeline.inputs import InputGenerator
+from repro.pipeline.network import NetworkPath
+from repro.pipeline.proxy import ServerProxy
+from repro.simcore import Environment, IntervalTrace, SeededRng
+from repro.workloads import (
+    BenchmarkProfile,
+    PlatformProfile,
+    Resolution,
+    get_benchmark,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.regulators.base import Regulator
+
+__all__ = ["CloudSystem", "RunResult", "SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything that defines one simulated run except the regulator."""
+
+    benchmark: Union[str, BenchmarkProfile]
+    platform: PlatformProfile
+    resolution: Resolution
+    seed: int = 1
+    #: Measured portion of the run (ms of simulated time).
+    duration_ms: float = 30000.0
+    #: Start-up transient excluded from all measurements (ms).
+    warmup_ms: float = 3000.0
+    #: Optional high-frequency polling input stream (0 = combined upstream).
+    poll_hz: float = 0.0
+    #: DRAM-contention slowdown per concurrently-busy memory-intensive
+    #: stage (see :mod:`repro.pipeline.contention`).
+    contention_beta: float = 0.25
+
+    def resolve_benchmark(self) -> BenchmarkProfile:
+        if isinstance(self.benchmark, BenchmarkProfile):
+            return self.benchmark
+        return get_benchmark(self.benchmark)
+
+
+class CloudSystem:
+    """One assembled cloud-3D deployment under a given regulator.
+
+    ``display_model`` optionally replaces the default display-on-decode
+    client with a presentation model from :mod:`repro.pipeline.display`
+    (VSync / FreeSync — the paper's client-side future work).
+    ``abr`` optionally attaches an adaptive-bitrate controller
+    (:mod:`repro.pipeline.abr`), and ``bandwidth_schedule`` makes the
+    network path's capacity time-varying (:mod:`repro.pipeline.netdyn`).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        regulator: "Regulator",
+        display_model=None,
+        abr=None,
+        bandwidth_schedule=None,
+    ):
+        self.config = config
+        self.benchmark = config.resolve_benchmark()
+        self.platform = config.platform
+        self.resolution = config.resolution
+        self.regulator = regulator
+
+        self.env = Environment()
+        self.rng = SeededRng(config.seed, name="system")
+        # Shared-device hooks; single-session systems own their devices
+        # outright (no queueing), multi-tenant sessions share Resources
+        # (see repro.multitenant).
+        self.gpu_resource = None
+        self.encode_resource = None
+        self.link_resource = None
+        self.counter = FpsCounter()
+        self.tracker = MtpLatencyTracker()
+        self.trace = IntervalTrace()
+        self.contention = ContentionTracker(beta=config.contention_beta)
+
+        # Per-stage service-time samplers, scaled for platform/resolution.
+        models = self.benchmark.stage_models(self.platform, self.resolution)
+        self.samplers = {
+            stage: model.sampler(self.rng.child("stage", stage))
+            for stage, model in models.items()
+        }
+        self.size_sampler = self.benchmark.frame_size_model(self.resolution).sampler(
+            self.rng.child("frame_size")
+        )
+
+        # Stage components.  The regulator may override the client refresh
+        # rate (RVS uses 60 Hz or 240 Hz displays).
+        self.proxy = ServerProxy(self)
+        self.network = NetworkPath(self, bandwidth_schedule=bandwidth_schedule)
+        self.client = Client(
+            self,
+            refresh_hz=regulator.client_refresh_hz,
+            display_model=display_model,
+        )
+        self.app = Application3D(self)
+        self.inputs = InputGenerator(
+            env=self.env,
+            rng=self.rng.child("inputs"),
+            actions_per_second=self.benchmark.actions_per_second,
+            uplink_ms=self.platform.uplink_ms,
+            deliver=self.app.deliver_input,
+            tracker=self.tracker,
+            poll_hz=config.poll_hz,
+        )
+
+        # Regulator-owned plumbing (buffers + proxy/network processes).
+        regulator.attach(self)
+
+        # Optional adaptive-bitrate controller (wraps the size sampler).
+        self.abr = abr.attach(self) if abr is not None else None
+
+        # Client-FPS feedback reports (used by adaptive regulators such as
+        # IntMax; a no-op hook for the others).
+        self.env.process(self._client_fps_reporter(), name="fps-reporter")
+
+    def _client_fps_reporter(self):
+        """Report the client's decode FPS to the cloud once per second."""
+        env = self.env
+        report_period = 1000.0
+        last_count = 0
+        while True:
+            yield env.timeout(report_period)
+            count = self.counter.count("decode")
+            fps = (count - last_count) * 1000.0 / report_period
+            last_count = count
+            env.call_at(
+                env.now + self.platform.uplink_ms,
+                lambda f=fps: self.regulator.on_client_fps_report(f),
+            )
+
+    def run(self) -> "RunResult":
+        """Execute the simulation and collect results."""
+        config = self.config
+        end = config.warmup_ms + config.duration_ms
+        self.env.run(until=end)
+        return RunResult(system=self)
+
+
+@dataclass
+class RunResult:
+    """Measurements of one completed run (analysis-side accessors)."""
+
+    system: CloudSystem
+    _cache: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    @property
+    def config(self) -> SystemConfig:
+        return self.system.config
+
+    @property
+    def regulator_name(self) -> str:
+        return self.system.regulator.name
+
+    @property
+    def t_start(self) -> float:
+        return self.config.warmup_ms
+
+    @property
+    def t_end(self) -> float:
+        return self.config.warmup_ms + self.config.duration_ms
+
+    @property
+    def counter(self) -> FpsCounter:
+        return self.system.counter
+
+    @property
+    def tracker(self) -> MtpLatencyTracker:
+        return self.system.tracker
+
+    @property
+    def trace(self) -> IntervalTrace:
+        return self.system.trace
+
+    # -- FPS metrics -------------------------------------------------------
+
+    def stage_mean_fps(self, stage: str) -> float:
+        return self.counter.mean_fps(stage, self.t_start, self.t_end)
+
+    @property
+    def render_fps(self) -> float:
+        return self.stage_mean_fps("render")
+
+    @property
+    def encode_fps(self) -> float:
+        return self.stage_mean_fps("encode")
+
+    @property
+    def client_fps(self) -> float:
+        """Client decode FPS — the paper's "client FPS"."""
+        return self.stage_mean_fps("decode")
+
+    def client_fps_box(self, window_ms: float = 1000.0) -> BoxStats:
+        from repro.metrics.stats import summarize
+
+        series = self.counter.fps_series("decode", self.t_start, self.t_end, window_ms)
+        return summarize(series)
+
+    def fps_gap(self) -> FpsGapReport:
+        """Cloud render FPS minus client decode FPS (Table 2)."""
+        return self.counter.fps_gap(self.t_start, self.t_end)
+
+    # -- latency metrics -----------------------------------------------------
+
+    def mtp_samples(self) -> List[float]:
+        """Closed MtP latencies for inputs issued inside the window."""
+        return [
+            s.latency_ms
+            for s in self.tracker.samples
+            if self.t_start <= s.issued_at < self.t_end
+        ]
+
+    def mean_mtp_ms(self) -> float:
+        samples = self.mtp_samples()
+        if not samples:
+            raise ValueError("no MtP samples in the measurement window")
+        return sum(samples) / len(samples)
+
+    def mtp_box(self) -> BoxStats:
+        from repro.metrics.stats import summarize
+
+        return summarize(self.mtp_samples())
+
+    # -- QoS ------------------------------------------------------------------
+
+    def qos(self, target_fps: float, window_ms: float = 200.0) -> QosReport:
+        """The paper's windowed QoS criterion over client display times."""
+        times = self.counter.times("decode")
+        return qos_satisfaction(times, target_fps, self.t_start, self.t_end, window_ms)
+
+    # -- efficiency inputs ------------------------------------------------------
+
+    def dropped_frames(self, reason: Optional[DropReason] = None) -> List[Frame]:
+        frames = [f for f in self.system.app.frames if f.dropped is not None]
+        if reason is not None:
+            frames = [f for f in frames if f.dropped is reason]
+        return frames
+
+    def frames_rendered(self) -> int:
+        return self.counter.count("render")
+
+    def bandwidth_mbps(self) -> float:
+        """Mean network usage over the whole simulated time."""
+        total_ms = self.t_end
+        return self.system.network.sent_bytes * 8.0 / (total_ms / 1000.0) / 1e6
+
+    def stage_utilization(self, stage: str) -> float:
+        return self.trace.utilization(stage, self.t_start, self.t_end)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers as a flat dict (handy for tables/CSV)."""
+        gap = self.fps_gap()
+        result = {
+            "render_fps": self.render_fps,
+            "encode_fps": self.encode_fps,
+            "client_fps": self.client_fps,
+            "fps_gap_mean": gap.mean_gap,
+            "fps_gap_max": gap.max_gap,
+            "bandwidth_mbps": self.bandwidth_mbps(),
+        }
+        samples = self.mtp_samples()
+        if samples:
+            result["mtp_mean_ms"] = sum(samples) / len(samples)
+        return result

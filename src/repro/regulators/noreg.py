@@ -1,0 +1,24 @@
+"""No FPS regulation (the paper's ``NoReg`` configuration).
+
+The app renders free-running, as fast as the GPU completes frames.  The
+proxy encodes the latest rendered frame; everything the encoder cannot
+keep up with is overwritten in the mailbox — that discarded work is the
+excessive rendering quantified in Fig. 1 and Table 2.  On
+bandwidth-constrained paths the send queue additionally fills up and
+every frame (including input responses) queues behind megabytes of
+stale frames, producing the seconds-scale MtP latency the paper
+observed on GCE.
+"""
+
+from __future__ import annotations
+
+from repro.regulators.base import Regulator
+
+__all__ = ["NoRegulation"]
+
+
+class NoRegulation(Regulator):
+    """Free-running rendering; the conventional stack with no gating."""
+
+    name = "NoReg"
+    fps_target = None

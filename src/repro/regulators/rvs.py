@@ -1,0 +1,133 @@
+"""Remote VSync (the paper's ``RVS`` baselines, after Liu et al. [49]).
+
+RVS extends display VSync across the network: rendering in the cloud is
+synchronized to the *client display's* vblank schedule.  On every
+displayed frame the client computes the slack between the frame's
+decode completion and the next vblank and ships it to the cloud (one
+uplink later); the cloud delays the next frame's rendering by the slack
+scaled with an empirically tuned low-pass constant ``cc``.
+
+Two properties of the design — both demonstrated in Sec. 4.1 — emerge
+from this model:
+
+* the rendering rate is bounded by the vblank schedule *minus* feedback
+  overhead, so client FPS always lands below the refresh rate (RVS60 ≈
+  54 FPS on InMind);
+* the feedback is one network round trip stale, and ``cc`` is a fixed
+  constant, so RVS cannot track frame-to-frame processing-time
+  variation (RVSMax reaches only ~76 FPS where NoReg reached 93).
+
+``RVS30``/``RVS60`` use an ordinary 60 Hz display; ``RVSMax`` uses a
+240 Hz display so the vblank schedule itself stops being the limit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.regulators.base import Regulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.app import Application3D
+    from repro.pipeline.client import Client
+    from repro.pipeline.frames import Frame
+
+__all__ = ["RemoteVsync"]
+
+
+class RemoteVsync(Regulator):
+    """Remote VSync: vblank-schedule rendering with cc-scaled feedback.
+
+    Three gates before each frame's rendering:
+
+    1. **feedback window** — at most :attr:`WINDOW` frames may be
+       rendered without an acknowledged display (Fig. 5c shows the next
+       frame's rendering waiting for the previous frame's feedback);
+       the in-flight bound is what makes RVS's rate suffer from the
+       round trip on top of the vblank schedule;
+    2. **vblank grid** — rendering is synchronized to the display's
+       (remotely estimated) vblank schedule;
+    3. **cc delay** — the last received decode-to-vblank slack, scaled
+       by the low-pass constant ``cc``.
+    """
+
+    sleep_masks_inputs = True
+
+    #: Maximum frames rendered but not yet acknowledged by the client —
+    #: the classic double-buffered VSync swapchain depth.
+    WINDOW = 2
+    #: Safety valve: never stall on feedback longer than this many
+    #: vblank periods (lost acks from dropped frames must not wedge
+    #: rendering forever).
+    MAX_FEEDBACK_STALL_PERIODS = 4.0
+
+    def __init__(
+        self,
+        refresh_hz: float = 60.0,
+        cc: float = 0.25,
+        fps_target: Optional[float] = None,
+    ):
+        super().__init__()
+        if refresh_hz <= 0:
+            raise ValueError("refresh rate must be positive")
+        if cc < 0:
+            raise ValueError("cc must be non-negative")
+        self.client_refresh_hz = float(refresh_hz)
+        self.cc = cc
+        self.fps_target = fps_target
+        self.name = f"RVS{fps_target:g}" if fps_target else "RVSMax"
+        #: Most recent decode-to-vblank slack received from the client (ms).
+        self.latest_slack_ms = 0.0
+        self.feedback_count = 0
+        self._last_rendered_id = 0
+        self._last_acked_id = 0
+        self._ack_events = []
+
+    @property
+    def vblank_period_ms(self) -> float:
+        return 1000.0 / self.client_refresh_hz
+
+    @property
+    def frames_in_flight(self) -> int:
+        return self._last_rendered_id - self._last_acked_id
+
+    def app_wait(self, app: "Application3D"):
+        env = app.env
+        period = self.vblank_period_ms
+        # 1. feedback window: wait for acknowledgements (bounded stall).
+        stall_deadline = env.now + self.MAX_FEEDBACK_STALL_PERIODS * period
+        while self.frames_in_flight >= self.WINDOW and env.now < stall_deadline:
+            ack = env.event()
+            self._ack_events.append(ack)
+            yield env.any_of([ack, env.timeout(stall_deadline - env.now)])
+        # 2. vblank grid.
+        now = env.now
+        slot = math.floor(now / period + 1e-9)
+        boundary = slot * period
+        wait = 0.0
+        if now > boundary + 1e-9:
+            wait = (slot + 1) * period - now
+        # 3. cc-scaled feedback delay.
+        wait += self.cc * self.latest_slack_ms
+        if wait > 0:
+            yield env.timeout(wait)
+
+    def app_submit(self, app: "Application3D", frame: "Frame"):
+        self._last_rendered_id = frame.frame_id
+        yield from super().app_submit(app, frame)
+
+    def on_client_display(self, client: "Client", frame: "Frame") -> None:
+        """Client-side: compute decode-to-vblank slack, send it uplink."""
+        env = client.env
+        slack = client.next_vblank(env.now) - env.now
+
+        def _deliver(s: float = slack, fid: int = frame.frame_id) -> None:
+            self.latest_slack_ms = s
+            self.feedback_count += 1
+            self._last_acked_id = max(self._last_acked_id, fid)
+            acks, self._ack_events = self._ack_events, []
+            for ack in acks:
+                ack.succeed()
+
+        env.call_at(env.now + client.system.platform.uplink_ms, _deliver)

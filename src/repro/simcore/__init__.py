@@ -1,0 +1,62 @@
+"""Discrete-event simulation core.
+
+``repro.simcore`` is a small, self-contained discrete-event simulation
+(DES) engine in the style of SimPy: simulation logic is written as Python
+generator functions ("processes") that ``yield`` events (timeouts, store
+gets/puts, other processes, ...) and are resumed by the environment when
+those events fire.
+
+The engine is the substrate for every experiment in this repository: the
+cloud-3D pipeline (:mod:`repro.pipeline`), the FPS regulators
+(:mod:`repro.regulators`), and ODR itself (:mod:`repro.core`) are all
+simcore processes.
+
+Public API
+----------
+:class:`Environment`
+    The event loop: clock, scheduler, process factory.
+:class:`Event`, :class:`Timeout`, :class:`Process`
+    Event primitives.
+:class:`Interrupt`
+    Exception thrown into a process by :meth:`Process.interrupt`.
+:class:`AllOf`, :class:`AnyOf`
+    Composite events.
+:class:`Store`, :class:`PriorityStore`, :class:`Resource`, :class:`Gate`
+    Shared-state synchronization primitives.
+:class:`SeededRng`
+    Deterministic per-component random streams.
+:class:`IntervalTrace`
+    Busy-interval recorder used by the hardware models.
+"""
+
+from repro.simcore.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.simcore.resources import Gate, PriorityStore, Resource, Store
+from repro.simcore.rng import SeededRng
+from repro.simcore.tracing import IntervalTrace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "IntervalTrace",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SeededRng",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+]

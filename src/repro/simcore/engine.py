@@ -1,0 +1,455 @@
+"""The discrete-event simulation engine.
+
+The engine follows the classic event-calendar design:
+
+* an :class:`Environment` owns the simulation clock and a binary heap of
+  scheduled events ordered by ``(time, priority, sequence)``;
+* an :class:`Event` is a one-shot occurrence with a value (or an
+  exception) and a list of callbacks;
+* a :class:`Process` wraps a Python generator.  Each ``yield`` hands an
+  event back to the engine; when that event fires, the generator is
+  resumed with the event's value (or the event's exception is thrown
+  into it).
+
+Time is a plain ``float``.  Throughout this repository the unit is
+**milliseconds** (the natural unit for frame timing), but the engine is
+unit-agnostic.
+
+Determinism: two events scheduled at the same time fire in scheduling
+order (FIFO), and all randomness in the wider library flows through
+:class:`repro.simcore.rng.SeededRng`, so a simulation run is a pure
+function of its configuration and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Priority for events that must fire before normal events at the same time.
+URGENT = 0
+#: Default event priority.
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupt ``cause`` is an arbitrary object supplied by the
+    interrupter; ODR's PriorityFrame, for example, interrupts the render
+    loop's swap wait with the triggering user input as the cause.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, becomes *triggered* when given a value via
+    :meth:`succeed` (or an exception via :meth:`fail`), and *processed*
+    once the environment has run its callbacks.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set by Condition events to clean up when a sibling fires first.
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception).  Only valid once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (callback use)."""
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after it is created."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def triggered(self) -> bool:  # a Timeout is born triggered
+        return True
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes, so processes can ``yield`` other
+    processes to join them.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if running
+        #: or finished).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is about to be resumed is handled gracefully (the
+        interrupt wins).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self._target is None:
+            # The process has just been created and not yet started, or is
+            # being resumed this instant: deliver the interrupt via an
+            # immediate failing event.
+            raise SimulationError(f"cannot interrupt uninitialized {self!r}")
+        # Detach from the waited-on event and schedule resumption with the
+        # interrupt exception.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=URGENT)
+        if self._target.callbacks is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+
+    # -- engine plumbing -----------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value/exception of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    if not isinstance(exc, BaseException):
+                        exc = SimulationError(repr(exc))
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as exc:
+                self._target = None
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+
+            if next_event.callbacks is not None:
+                # Pending or triggered-but-unprocessed: wait for it.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+            # Already processed: loop around immediately with its value.
+            event = next_event
+
+        self.env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """Base class for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+        # Register after validation so no callback leaks on error.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        # An empty condition is vacuously satisfied (SimPy semantics).
+        if not self._events and not self.triggered and self._evaluate(0, 0):
+            self.succeed(ConditionValue([]))
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._count, len(self._events)):
+            self.succeed(ConditionValue(self._events))
+
+
+class ConditionValue:
+    """Mapping-like view of the triggered events of a condition."""
+
+    def __init__(self, events: list):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if not event.triggered:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events and event.triggered
+
+    def todict(self) -> dict:
+        return {e: e.value for e in self.events if e.triggered}
+
+
+class AllOf(Condition):
+    """Triggers once *all* constituent events have triggered."""
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(Condition):
+    """Triggers once *any* constituent event has triggered."""
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        return count >= 1 or total == 0
+
+
+class Environment:
+    """The simulation environment: clock, event calendar, process factory.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (milliseconds by library convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put ``event`` on the calendar ``delay`` time units from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of losing it.
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(repr(exc))
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the calendar is empty;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event triggers, returning its
+          value.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while self._queue and not stop.processed:
+                self.step()
+            if not stop.triggered:
+                raise SimulationError("run-until event never triggered")
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    # -- factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, func: Callable[[], None]) -> None:
+        """Run ``func()`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+
+        def _caller(_event: Event) -> None:
+            func()
+
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(_caller)
+        self.schedule(event, delay=when - self._now)

@@ -1,0 +1,216 @@
+"""Synchronization primitives built on the event engine.
+
+These are the shared-state building blocks the cloud-3D pipeline is made
+of: bounded FIFO stores model queues between pipeline stages, resources
+model exclusive devices (the GPU, the encoder), and gates model binary
+conditions processes can block on (ODR's buffer-swap waits).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional
+
+from repro.simcore.engine import Environment, Event, SimulationError
+
+__all__ = ["Gate", "PriorityStore", "Resource", "Store"]
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; fires when the item is stored."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the retrieved item."""
+
+
+class Store:
+    """A bounded FIFO store of items.
+
+    ``put`` blocks (returns a pending event) when the store is full;
+    ``get`` blocks when it is empty.  With ``capacity=1`` this is a
+    classic single-slot hand-off buffer.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Store ``item``; the returned event fires once it is stored."""
+        event = StorePut(self, item)
+        self._put_waiters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; the event's value is the item."""
+        event = StoreGet(self.env)
+        self._get_waiters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: pop and return the oldest item, or None."""
+        if not self.items:
+            return None
+        item = self._pop_item()
+        self._dispatch()
+        return item
+
+    def clear(self) -> List[Any]:
+        """Drop all stored items (used for obsolete-frame flushing)."""
+        dropped, self.items = self.items, []
+        self._dispatch()
+        return dropped
+
+    # -- internals -----------------------------------------------------
+
+    def _store_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _pop_item(self) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        """Match waiting puts with free slots and waiting gets with items."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters and len(self.items) < self.capacity:
+                put = self._put_waiters.pop(0)
+                self._store_item(put.item)
+                put.succeed()
+                progressed = True
+            while self._get_waiters and self.items:
+                get = self._get_waiters.pop(0)
+                get.succeed(self._pop_item())
+                progressed = True
+
+
+class PriorityStore(Store):
+    """A store whose ``get`` returns the smallest item first.
+
+    Items must be orderable; the common pattern is ``(priority, seq,
+    payload)`` tuples.  Used for the priority-frame fast path where
+    input-triggered frames overtake refresh frames.
+    """
+
+    def _store_item(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _pop_item(self) -> Any:
+        return heapq.heappop(self.items)
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`."""
+
+
+class Resource:
+    """A counted exclusive resource with FIFO granting.
+
+    Usage::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[ResourceRequest] = []
+        self.queue: List[ResourceRequest] = []
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        event = ResourceRequest(self.env)
+        self.queue.append(event)
+        self._grant()
+        return event
+
+    def release(self, request: ResourceRequest) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+        else:
+            raise SimulationError("release of unknown request")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self.queue.pop(0)
+            self.users.append(request)
+            request.succeed()
+
+
+class Gate:
+    """A binary open/closed condition processes can wait on.
+
+    ``wait()`` returns an event that fires immediately if the gate is
+    open, otherwise when the gate next opens.  Opening releases *all*
+    current waiters (broadcast).  This models ODR's swap conditions:
+    "the 3D application pauses its rendering until the buffers are
+    swapped".
+    """
+
+    def __init__(self, env: Environment, is_open: bool = False):
+        self.env = env
+        self._open = is_open
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        event = Event(self.env)
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def open(self) -> None:
+        """Open the gate, releasing all waiters."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def close(self) -> None:
+        """Close the gate; subsequent waits will block."""
+        self._open = False
+
+    def pulse(self) -> None:
+        """Release current waiters without leaving the gate open."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()

@@ -1,0 +1,52 @@
+"""Synthetic Pictor-equivalent workloads.
+
+The paper evaluates six interactive 3D benchmarks from the Pictor suite
+on two platforms and two resolutions.  We cannot run the real games, so
+this package models the *timing processes* that drive every result in
+the paper: per-stage frame processing times (render, copy, encode,
+decode), encoded frame sizes, and their frame-to-frame variation.
+
+The models reproduce the three properties the paper's analysis hinges
+on (Sec. 4.1, Fig. 4):
+
+1. right-skewed bodies — most frames process well below 16.6 ms;
+2. heavy spike tails — 10-20 % of frames suddenly take far longer
+   (scene complexity changes, cloud performance variation);
+3. frame-to-frame correlation — processing time drifts rather than
+   being i.i.d. (visible in the Fig. 4b trace).
+"""
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    BenchmarkProfile,
+    get_benchmark,
+)
+from repro.workloads.distributions import FrameSizeModel, StageTimeModel
+from repro.workloads.validation import (
+    ProfilePrediction,
+    predict_noreg,
+    validate_profile,
+)
+from repro.workloads.platforms import (
+    PLATFORMS,
+    GCE,
+    PRIVATE_CLOUD,
+    PlatformProfile,
+    Resolution,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "FrameSizeModel",
+    "GCE",
+    "PLATFORMS",
+    "PRIVATE_CLOUD",
+    "PlatformProfile",
+    "ProfilePrediction",
+    "Resolution",
+    "StageTimeModel",
+    "get_benchmark",
+    "predict_noreg",
+    "validate_profile",
+]

@@ -1,0 +1,111 @@
+"""Analytic self-checks for workload profiles.
+
+A :class:`BenchmarkProfile` encodes calibration intent (NoReg FPS
+anchors, spike mass, feasible targets); these helpers compute the
+closed-form predictions the simulation should land near, so a profile
+can be validated *before* burning simulation time — used by the test
+suite and by :func:`validate_profile` for user-authored profiles
+(``examples/custom_game_profile.py``-style workflows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.benchmarks import BenchmarkProfile
+from repro.workloads.platforms import PlatformProfile, Resolution
+
+__all__ = ["ProfilePrediction", "predict_noreg", "validate_profile"]
+
+#: DRAM-contention inflation of a fully-overlapped (NoReg) pipeline.
+NOREG_CONTENTION = 1.25
+
+
+@dataclass(frozen=True)
+class ProfilePrediction:
+    """Closed-form NoReg predictions for one (profile, platform, res)."""
+
+    render_fps: float
+    encode_fps: float
+    fps_gap: float
+    offered_mbps: float
+    #: True when the encoder outruns the path — the congestion regime
+    #: behind NoReg's seconds-scale MtP latency.
+    congested: bool
+
+    @property
+    def has_excessive_rendering(self) -> bool:
+        return self.fps_gap > 1.0
+
+
+def predict_noreg(
+    profile: BenchmarkProfile,
+    platform: PlatformProfile,
+    resolution: Resolution,
+) -> ProfilePrediction:
+    """Predict the NoReg steady state analytically.
+
+    Under NoReg both the app loop (render+copy) and the encoder run
+    back-to-back, each inflated ~``NOREG_CONTENTION``× by the other;
+    client FPS equals encode FPS unless the network path is the
+    bottleneck.
+    """
+    models = profile.stage_models(platform, resolution)
+    app_period = NOREG_CONTENTION * (models["render"].mean_ms + models["copy"].mean_ms)
+    encode_period = NOREG_CONTENTION * models["encode"].mean_ms
+    render_fps = 1000.0 / app_period
+    encode_fps = 1000.0 / encode_period
+    mean_bytes = profile.frame_size_model(resolution).mean_kb * 1024
+    offered_mbps = encode_fps * mean_bytes * 8.0 / 1e6
+    return ProfilePrediction(
+        render_fps=render_fps,
+        encode_fps=encode_fps,
+        fps_gap=max(0.0, render_fps - encode_fps),
+        offered_mbps=offered_mbps,
+        congested=offered_mbps > platform.bandwidth_mbps,
+    )
+
+
+def validate_profile(
+    profile: BenchmarkProfile,
+    platform: PlatformProfile,
+    resolution: Resolution,
+) -> List[str]:
+    """Sanity-check a (possibly user-authored) profile.
+
+    Returns a list of human-readable problems (empty = valid):
+
+    * the render loop must outpace the encoder (otherwise there is no
+      excessive rendering and nothing for a regulator to regulate);
+    * the decode stage must not be the bottleneck (the paper's client
+      assumption: "decoding time is relatively lower");
+    * input rate must be in the paper's observed 2-5 actions/s band for
+      PriorityFrame's sparsity argument to hold.
+    """
+    problems: List[str] = []
+    models = profile.stage_models(platform, resolution)
+    prediction = predict_noreg(profile, platform, resolution)
+
+    app_period = models["render"].mean_ms + models["copy"].mean_ms
+    if app_period >= models["encode"].mean_ms:
+        problems.append(
+            f"render+copy ({app_period:.2f} ms) is not faster than encode "
+            f"({models['encode'].mean_ms:.2f} ms): no excessive rendering"
+        )
+    if models["decode"].mean_ms >= models["encode"].mean_ms:
+        problems.append(
+            f"decode ({models['decode'].mean_ms:.2f} ms) is slower than encode "
+            f"({models['encode'].mean_ms:.2f} ms): the client becomes the bottleneck"
+        )
+    if not 1.0 <= profile.actions_per_second <= 8.0:
+        problems.append(
+            f"actions_per_second={profile.actions_per_second} outside the "
+            "1-8/s range PriorityFrame's sparsity argument assumes"
+        )
+    if prediction.encode_fps < 25.0:
+        problems.append(
+            f"encode capacity {prediction.encode_fps:.1f} FPS cannot satisfy "
+            "even a 30 FPS target on this platform/resolution"
+        )
+    return problems

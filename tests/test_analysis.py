@@ -1,0 +1,191 @@
+"""Tests for frame-log export, trace record/replay, and replication."""
+
+import io
+
+import pytest
+
+from repro import CloudSystem, SystemConfig, make_regulator
+from repro.analysis import (
+    RecordedStageModel,
+    StageTraces,
+    export_frame_log,
+    load_frame_log,
+    paired_compare,
+    record_stage_traces,
+    replicate,
+)
+from repro.analysis.traces import ReplaySampler
+from repro.workloads import PRIVATE_CLOUD, Resolution, get_benchmark
+
+
+def run(spec="ODR60", seed=1, duration=5000.0, benchmark="IM", **kwargs):
+    config = SystemConfig(benchmark, PRIVATE_CLOUD, Resolution.R720P, seed=seed,
+                          duration_ms=duration, warmup_ms=1000.0, **kwargs)
+    return CloudSystem(config, make_regulator(spec)).run()
+
+
+class TestFrameLog:
+    def test_roundtrip(self):
+        result = run()
+        buffer = io.StringIO()
+        count = export_frame_log(result, buffer)
+        assert count == len(result.system.app.frames)
+        buffer.seek(0)
+        frames = load_frame_log(buffer)
+        assert len(frames) == count
+        original = result.system.app.frames
+        for a, b in zip(original[:50], frames[:50]):
+            assert a.frame_id == b.frame_id
+            assert a.input_ids == b.input_ids
+            assert a.priority == b.priority
+            assert a.dropped == b.dropped
+            assert (a.t_displayed is None) == (b.t_displayed is None)
+            if a.t_displayed is not None:
+                assert a.t_displayed == pytest.approx(b.t_displayed, abs=1e-5)
+
+    def test_file_path_roundtrip(self, tmp_path):
+        result = run(duration=2000)
+        path = tmp_path / "frames.csv"
+        export_frame_log(result, str(path))
+        frames = load_frame_log(str(path))
+        assert frames and frames[0].frame_id == 1
+
+    def test_missing_columns_rejected(self):
+        buffer = io.StringIO("frame_id,priority\n1,0\n")
+        with pytest.raises(ValueError):
+            load_frame_log(buffer)
+
+    def test_drop_reasons_preserved(self):
+        result = run(spec="NoReg")
+        buffer = io.StringIO()
+        export_frame_log(result, buffer)
+        buffer.seek(0)
+        frames = load_frame_log(buffer)
+        dropped = [f for f in frames if f.dropped is not None]
+        assert len(dropped) == len(result.dropped_frames())
+
+
+class TestReplaySampler:
+    def test_sequence_and_wrap(self):
+        sampler = ReplaySampler([1.0, 2.0, 3.0])
+        assert [sampler.next() for _ in range(7)] == [1, 2, 3, 1, 2, 3, 1]
+        assert sampler.wraps == 2
+
+    def test_scale(self):
+        sampler = ReplaySampler([2.0], scale=1.5)
+        assert sampler.next() == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplaySampler([])
+        with pytest.raises(ValueError):
+            ReplaySampler([1.0, -1.0])
+
+
+class TestRecordedStageModel:
+    def test_mean_and_scaling(self):
+        model = RecordedStageModel((2.0, 4.0))
+        assert model.mean_ms == 3.0
+        assert model.scaled(2.0).mean_ms == 6.0
+        with pytest.raises(ValueError):
+            model.scaled(0)
+
+    def test_sampler_ignores_rng(self):
+        model = RecordedStageModel((5.0,))
+        assert model.sampler(None).next() == 5.0
+
+
+class TestStageTraces:
+    def test_record_from_run(self):
+        result = run()
+        traces = record_stage_traces(result)
+        for stage in ("render", "copy", "encode", "decode"):
+            assert traces.length(stage) > 100
+
+    def test_save_load_roundtrip(self):
+        result = run(duration=3000)
+        traces = record_stage_traces(result)
+        buffer = io.StringIO()
+        traces.save(buffer)
+        buffer.seek(0)
+        loaded = StageTraces.load(buffer)
+        for stage in traces.stages:
+            assert loaded.stages[stage] == pytest.approx(traces.stages[stage], abs=1e-5)
+
+    def test_load_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StageTraces.load(io.StringIO("stage,index,duration_ms\n"))
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            StageTraces(stages={"render": []})
+
+    def test_replay_profile_reproduces_run(self):
+        """Replaying a recorded workload (contention off on both sides)
+        must reproduce the original run's FPS nearly exactly."""
+        original = run(spec="ODR60", duration=6000, contention_beta=0.0)
+        traces = record_stage_traces(original)
+        profile = traces.as_profile(get_benchmark("IM"))
+        replay = run(spec="ODR60", duration=6000, benchmark=profile,
+                     contention_beta=0.0)
+        assert replay.client_fps == pytest.approx(original.client_fps, rel=0.03)
+
+    def test_replay_what_if_changes_regulator(self):
+        """The same recorded workload can be pushed through another
+        regulator — a deterministic what-if."""
+        original = run(spec="NoReg", duration=6000, contention_beta=0.0)
+        traces = record_stage_traces(original)
+        profile = traces.as_profile(get_benchmark("IM"))
+        what_if = run(spec="ODR60", duration=6000, benchmark=profile,
+                      contention_beta=0.0)
+        assert what_if.client_fps >= 59.0
+        assert what_if.fps_gap().mean_gap < original.fps_gap().mean_gap / 10
+
+
+class TestReplication:
+    def test_replicate_summaries(self):
+        rep = replicate(lambda seed: {"x": float(seed), "y": 2.0}, seeds=[1, 2, 3])
+        assert rep["x"].mean == 2.0
+        assert rep["x"].n == 3
+        assert rep["y"].std == 0.0
+        assert "x" in rep and "z" not in rep
+        assert rep.names() == ["x", "y"]
+
+    def test_ci_narrows_with_n(self):
+        wide = replicate(lambda s: {"x": float(s % 5)}, seeds=range(5))
+        narrow = replicate(lambda s: {"x": float(s % 5)}, seeds=range(50))
+        assert narrow["x"].ci95_halfwidth < wide["x"].ci95_halfwidth
+
+    def test_metric_set_mismatch_rejected(self):
+        def factory(seed):
+            return {"x": 1.0} if seed == 1 else {"y": 1.0}
+
+        with pytest.raises(ValueError):
+            replicate(factory, seeds=[1, 2])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"x": 1.0}, seeds=[])
+
+    def test_significance_helpers(self):
+        pos = replicate(lambda s: {"x": 10.0 + (s % 3) * 0.1}, seeds=range(10))
+        assert pos["x"].significantly_positive()
+        assert not pos["x"].significantly_negative()
+
+    def test_paired_compare_removes_workload_variance(self):
+        """ODRMax vs NoReg client FPS, paired by seed: every delta is
+        positive and the CI excludes zero."""
+        def noreg(seed):
+            return {"client_fps": run("NoReg", seed=seed, duration=4000).client_fps}
+
+        def odr(seed):
+            return {"client_fps": run("ODRMax", seed=seed, duration=4000).client_fps}
+
+        deltas = paired_compare(noreg, odr, seeds=[1, 2, 3, 4])
+        summary = deltas["client_fps"]
+        assert all(v > 0 for v in summary.values)
+        assert summary.significantly_positive()
+
+    def test_paired_no_shared_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            paired_compare(lambda s: {"a": 1.0}, lambda s: {"b": 1.0}, seeds=[1])

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestCliRun:
+    def test_run_basic(self, capsys):
+        out = run_cli(capsys, "--duration", "4000", "--warmup", "500",
+                      "run", "IM", "ODR60")
+        assert "client FPS" in out
+        assert "MtP latency" in out
+        assert "power" in out
+
+    def test_run_gce(self, capsys):
+        out = run_cli(capsys, "--duration", "4000", "--warmup", "500",
+                      "run", "RE", "NoReg", "--platform", "gce",
+                      "--resolution", "1080p")
+        assert "platform=gce" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "QUAKE", "NoReg"])
+
+    def test_unknown_regulator_rejected(self, capsys):
+        with pytest.raises(ValueError):
+            main(["--duration", "2000", "run", "IM", "FooMax"])
+
+
+class TestCliList:
+    def test_list_output(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "benchmarks" in out
+        assert "ITP" in out
+        assert "Priv720p/ODR60" in out
+        assert "GCE1080p/ODR30" in out
+
+
+class TestCliFigures:
+    def test_figure_1(self, capsys):
+        out = run_cli(capsys, "--duration", "4000", "--warmup", "500", "figure", "1")
+        assert "Figure 1" in out
+        assert "RE" in out and "IM" in out
+
+    def test_figure_4(self, capsys):
+        out = run_cli(capsys, "--duration", "4000", "--warmup", "500", "figure", "4")
+        assert "Figure 4" in out
+        assert "render" in out and "transmit" in out
+
+    def test_figure_5(self, capsys):
+        out = run_cli(capsys, "--duration", "4000", "--warmup", "500", "figure", "5")
+        assert "ODR60" in out
+
+    def test_figure_7(self, capsys):
+        out = run_cli(capsys, "--duration", "4000", "--warmup", "500", "figure", "7")
+        assert "miss rate" in out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "2"])  # fig 2 is an architecture diagram

@@ -1,0 +1,148 @@
+"""Integration tests for the assembled ODR regulator."""
+
+import pytest
+
+from repro import CloudSystem, OnDemandRendering, SystemConfig, make_regulator
+from repro.pipeline.frames import DropReason
+from repro.workloads import GCE, PRIVATE_CLOUD, Resolution
+
+
+def run_odr(bench="IM", platform=PRIVATE_CLOUD, resolution=Resolution.R720P,
+            seed=1, duration=10000.0, **odr_kwargs):
+    config = SystemConfig(bench, platform, resolution, seed=seed,
+                          duration_ms=duration, warmup_ms=1500.0)
+    regulator = OnDemandRendering(**odr_kwargs)
+    return CloudSystem(config, regulator).run(), regulator
+
+
+class TestNaming:
+    def test_names_match_paper_labels(self):
+        assert OnDemandRendering(60).name == "ODR60"
+        assert OnDemandRendering(30).name == "ODR30"
+        assert OnDemandRendering(None).name == "ODRMax"
+        assert OnDemandRendering(None, priority_frames=False).name == "ODRMax-noPri"
+        assert OnDemandRendering(60, accelerate=False).name == "ODR60-noAccel"
+        assert (
+            OnDemandRendering(None, priority_frames=False, accelerate=False).name
+            == "ODRMax-noPri-noAccel"
+        )
+
+
+class TestFpsTargets:
+    @pytest.mark.parametrize("target", [30, 60])
+    def test_target_met_on_average(self, target):
+        result, _ = run_odr(target_fps=float(target))
+        assert result.client_fps >= target - 0.5
+
+    def test_target_met_per_200ms_window(self):
+        """Sec. 5.2: the target holds for (almost) every 200 ms period."""
+        result, _ = run_odr(target_fps=60.0, duration=15000)
+        report = result.qos(60.0, window_ms=200.0)
+        assert report.satisfaction >= 0.97
+
+    def test_max_mode_tracks_encoder_capacity(self):
+        result, _ = run_odr(target_fps=None)
+        # IM's uncontended encode capacity is ~105-116 FPS
+        assert 95 <= result.client_fps <= 125
+
+    def test_max_mode_beats_noreg_client_fps(self):
+        """The paper's ODRMax>NoReg result via reduced memory contention."""
+        config = SystemConfig("IM", PRIVATE_CLOUD, Resolution.R720P, seed=1,
+                              duration_ms=10000, warmup_ms=1500)
+        noreg = CloudSystem(config, make_regulator("NoReg")).run()
+        odr, _ = run_odr(target_fps=None)
+        assert odr.client_fps > noreg.client_fps
+
+
+class TestFpsGap:
+    def test_gap_nearly_eliminated(self):
+        result, _ = run_odr(target_fps=None)
+        assert result.fps_gap().mean_gap < 4.0
+
+    def test_nopri_gap_below_one_frame(self):
+        """Table 2: ODRMax-noPri average gap always below one frame."""
+        result, _ = run_odr(target_fps=None, priority_frames=False)
+        assert result.fps_gap().mean_gap < 1.0
+
+    def test_priority_adds_only_small_gap(self):
+        """Table 2: PriorityFrame costs only ~1-2 frames of gap."""
+        with_pri, _ = run_odr(target_fps=None, priority_frames=True, seed=3)
+        without, _ = run_odr(target_fps=None, priority_frames=False, seed=3)
+        assert with_pri.fps_gap().mean_gap - without.fps_gap().mean_gap < 3.0
+
+
+class TestPriorityFrame:
+    def test_priority_frames_exist_and_are_bounded_by_action_rate(self):
+        result, regulator = run_odr(target_fps=60.0, duration=15000)
+        priority_frames = [f for f in result.system.app.frames if f.priority]
+        actions = result.system.inputs.issued_actions
+        assert 0 < len(priority_frames) <= actions
+
+    def test_obsolete_frames_flushed(self):
+        result, regulator = run_odr(target_fps=60.0, duration=15000)
+        flushed = result.dropped_frames(DropReason.OBSOLETE_FLUSH)
+        assert regulator.priority.frames_flushed == len(flushed)
+        assert len(flushed) > 0
+
+    def test_flushed_inputs_inherited_not_lost(self):
+        """Every tracked input must eventually be answered (none lost to
+        obsolete-frame flushing)."""
+        result, _ = run_odr(target_fps=60.0, duration=15000)
+        tracker = result.tracker
+        # allow only the in-flight tail to be open
+        assert tracker.open_count <= 3
+
+    def test_priority_lowers_latency(self):
+        with_pri, _ = run_odr(target_fps=60.0, seed=2)
+        without, _ = run_odr(target_fps=60.0, priority_frames=False, seed=2)
+        assert with_pri.mean_mtp_ms() < without.mean_mtp_ms()
+
+    def test_priority_latency_beats_noreg(self):
+        """Sec. 6.4: PriorityFrame removes NoReg's queueing delay."""
+        config = SystemConfig("IM", PRIVATE_CLOUD, Resolution.R720P, seed=1,
+                              duration_ms=10000, warmup_ms=1500)
+        noreg = CloudSystem(config, make_regulator("NoReg")).run()
+        odr, _ = run_odr(target_fps=None)
+        assert odr.mean_mtp_ms() < noreg.mean_mtp_ms()
+
+
+class TestAccelerationAblation:
+    def test_acceleration_improves_fps_under_spiky_load(self):
+        accel, _ = run_odr(target_fps=60.0, seed=4, duration=15000)
+        noaccel, _ = run_odr(target_fps=60.0, accelerate=False, seed=4, duration=15000)
+        assert accel.client_fps > noaccel.client_fps
+
+    def test_noaccel_degrades_windowed_qos(self):
+        """Without acceleration, spike-hit 200 ms windows stay unrepaired."""
+        accel, _ = run_odr(target_fps=60.0, seed=4, duration=15000)
+        noaccel, _ = run_odr(target_fps=60.0, accelerate=False, seed=4, duration=15000)
+        assert noaccel.qos(60.0).satisfaction <= accel.qos(60.0).satisfaction
+        assert noaccel.qos(60.0).worst_window_fps <= accel.qos(60.0).worst_window_fps
+
+
+class TestMultiBufferDiscipline:
+    def test_mulbuf_swap_counts_track_throughput(self):
+        result, regulator = run_odr(target_fps=60.0, duration=8000)
+        encoded = result.counter.count("encode")
+        # every encoded frame came through a Mul-Buf1 swap
+        assert abs(regulator.mulbuf1.swap_count - encoded) <= 2
+
+    def test_app_blocks_on_back_buffer(self):
+        """Rendering rate must match encoding rate (no free-running)."""
+        result, _ = run_odr(target_fps=None, priority_frames=False)
+        assert result.render_fps - result.encode_fps < 2.0
+
+
+class TestGcePublicCloudClaims:
+    def test_odr_meets_60fps_100ms_on_gce_720p(self):
+        """The paper's headline public-cloud feasibility claim."""
+        result, _ = run_odr(platform=GCE, target_fps=60.0, duration=15000)
+        assert result.client_fps >= 59.5
+        assert result.mean_mtp_ms() < 100.0
+
+    def test_odr30_on_gce_1080p(self):
+        result, _ = run_odr(
+            platform=GCE, resolution=Resolution.R1080P, target_fps=30.0, duration=15000
+        )
+        assert result.client_fps >= 29.5
+        assert result.mean_mtp_ms() < 150.0

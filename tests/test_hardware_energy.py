@@ -1,0 +1,73 @@
+"""Tests for the energy-per-frame accounting extension."""
+
+import pytest
+
+from repro import CloudSystem, SystemConfig, make_regulator
+from repro.hardware import energy_report
+from repro.hardware.energy import EnergyReport
+from repro.hardware.power import PowerReport
+from repro.workloads import PRIVATE_CLOUD, Resolution
+
+
+def run(spec, seed=1, duration=10000.0):
+    config = SystemConfig("IM", PRIVATE_CLOUD, Resolution.R720P, seed=seed,
+                          duration_ms=duration, warmup_ms=1500.0)
+    return CloudSystem(config, make_regulator(spec)).run()
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {spec: energy_report(run(spec)) for spec in ("NoReg", "ODRMax", "ODR60")}
+
+
+class TestArithmetic:
+    def test_total_energy_is_power_times_window(self, reports):
+        report = reports["NoReg"]
+        assert report.total_j == pytest.approx(report.power.total_w * report.window_s)
+
+    def test_dynamic_energy_excludes_idle(self, reports):
+        report = reports["NoReg"]
+        expected = (report.power.total_w - report.power.idle_w) * report.window_s
+        assert report.dynamic_j == pytest.approx(expected)
+
+    def test_avg_above_marginal(self, reports):
+        for report in reports.values():
+            assert report.avg_j_per_delivered_frame > report.marginal_j_per_delivered_frame
+
+    def test_zero_frames_rejected(self):
+        report = EnergyReport(
+            power=PowerReport(100, 90, 5, 3, 1, 1),
+            window_s=10.0, delivered_frames=0, rendered_frames=0,
+        )
+        with pytest.raises(ValueError):
+            _ = report.avg_j_per_delivered_frame
+        with pytest.raises(ValueError):
+            _ = report.marginal_j_per_delivered_frame
+        with pytest.raises(ValueError):
+            _ = report.waste_fraction
+
+
+class TestEfficiencyClaims:
+    def test_noreg_wastes_half_its_renders(self, reports):
+        # InMind NoReg: ~190 rendered, ~89 delivered
+        assert reports["NoReg"].waste_fraction > 0.4
+
+    def test_odr_wastes_almost_nothing(self, reports):
+        assert reports["ODRMax"].waste_fraction < 0.05
+        assert reports["ODR60"].waste_fraction < 0.10
+
+    def test_odr_cuts_marginal_energy_per_frame(self, reports):
+        """The headline: delivered frames are cheaper without excessive
+        rendering dragging discarded work along."""
+        noreg = reports["NoReg"].marginal_j_per_delivered_frame
+        odrmax = reports["ODRMax"].marginal_j_per_delivered_frame
+        assert odrmax < 0.85 * noreg
+
+    def test_avg_energy_nuance(self, reports):
+        """Per *average* J/frame, heavy regulation can look worse than
+        free-running (idle power spread over fewer frames) — the honest
+        caveat that motivates consolidation."""
+        assert (
+            reports["ODR60"].avg_j_per_delivered_frame
+            > reports["ODRMax"].avg_j_per_delivered_frame
+        )

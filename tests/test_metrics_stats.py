@@ -1,0 +1,92 @@
+"""Tests for distribution summaries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import BoxStats, mean, percentile, summarize
+from repro.metrics.stats import stddev
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStddev:
+    def test_constant_sequence(self):
+        assert stddev([5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        assert stddev([2, 4]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stddev([])
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = list(range(100))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 99
+
+    def test_singleton(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_within_data_range(self, values):
+        for pct in (0, 1, 25, 50, 75, 99, 100):
+            p = percentile(values, pct)
+            assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_percentiles_monotone(self, values):
+        points = [percentile(values, p) for p in (1, 25, 50, 75, 99)]
+        assert points == sorted(points)
+
+
+class TestSummarize:
+    def test_fields(self):
+        box = summarize(list(range(101)))
+        assert isinstance(box, BoxStats)
+        assert box.count == 101
+        assert box.mean == 50.0
+        assert box.p1 == 1.0
+        assert box.p25 == 25.0
+        assert box.p75 == 75.0
+        assert box.p99 == 99.0
+
+    def test_as_dict_roundtrip(self):
+        box = summarize([1.0, 2.0, 3.0])
+        d = box.as_dict()
+        assert d["count"] == 3
+        assert d["mean"] == 2.0
+
+    def test_str_formatting(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=1.5" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

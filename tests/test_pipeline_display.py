@@ -1,0 +1,174 @@
+"""Tests for the client display presentation models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CloudSystem, SystemConfig, make_regulator
+from repro.pipeline.display import (
+    ImmediateDisplay,
+    Presentation,
+    VrrDisplay,
+    VsyncDisplay,
+)
+from repro.workloads import PRIVATE_CLOUD, Resolution
+
+
+def feed(model, times):
+    return [model.present(t) for t in times]
+
+
+class TestImmediateDisplay:
+    def test_zero_added_latency(self):
+        model = ImmediateDisplay(refresh_hz=60)
+        feed(model, [10.0, 30.0, 55.0])
+        assert model.stats.mean_added_latency_ms == 0.0
+        assert model.stats.presented == 3
+
+    def test_tearing_when_faster_than_scanout(self):
+        model = ImmediateDisplay(refresh_hz=60)  # 16.6ms scan-out
+        feed(model, [0.0, 5.0, 10.0, 40.0])
+        # frames at 5 and 10 land mid-scan-out of their predecessors
+        assert model.stats.torn == 2
+
+    def test_no_tearing_below_refresh_rate(self):
+        model = ImmediateDisplay(refresh_hz=60)
+        feed(model, [0.0, 20.0, 40.0, 60.0])
+        assert model.stats.torn == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImmediateDisplay(refresh_hz=0)
+
+
+class TestVsyncDisplay:
+    def test_presents_at_next_vblank(self):
+        model = VsyncDisplay(refresh_hz=60)
+        [p] = feed(model, [5.0])
+        assert p.display_time == pytest.approx(1000 / 60)
+
+    def test_never_tears(self):
+        model = VsyncDisplay(refresh_hz=60)
+        results = feed(model, [float(t) for t in range(0, 200, 3)])
+        assert all(not p.torn for p in results)
+
+    def test_drops_second_frame_in_same_interval(self):
+        model = VsyncDisplay(refresh_hz=60)
+        a, b = feed(model, [2.0, 9.0])
+        assert not a.dropped
+        assert b.dropped
+        assert model.stats.dropped == 1
+
+    def test_added_latency_bounded_by_period(self):
+        model = VsyncDisplay(refresh_hz=60)
+        feed(model, [3.0, 20.0, 39.0, 55.0])
+        assert 0 < model.stats.mean_added_latency_ms <= 1000 / 60
+
+    def test_steady_sixty_fps_stream_keeps_all_frames(self):
+        model = VsyncDisplay(refresh_hz=60)
+        period = 1000.0 / 60.0
+        results = feed(model, [i * period + 2.0 for i in range(100)])
+        assert all(not p.dropped for p in results)
+
+    @given(st.lists(st.floats(min_value=0, max_value=5000), min_size=2, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_display_times_strictly_increase(self, times):
+        model = VsyncDisplay(refresh_hz=60)
+        shown = [
+            p.display_time for p in feed(model, sorted(times)) if not p.dropped
+        ]
+        assert all(b > a for a, b in zip(shown, shown[1:]))
+
+
+class TestVrrDisplay:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VrrDisplay(min_hz=100, max_hz=60)
+
+    def test_immediate_within_window(self):
+        model = VrrDisplay(min_hz=48, max_hz=144)
+        a, b = feed(model, [0.0, 10.0])  # 100 FPS pace: inside window
+        assert a.display_time == 0.0
+        assert b.display_time == 10.0
+        assert model.stats.added_latency_total_ms == 0.0
+
+    def test_min_frame_distance_enforced(self):
+        model = VrrDisplay(min_hz=48, max_hz=144)  # min distance ~6.94ms
+        a, b = feed(model, [0.0, 2.0])
+        assert b.display_time == pytest.approx(1000 / 144)
+
+    def test_low_framerate_compensation_repeats(self):
+        model = VrrDisplay(min_hz=48, max_hz=144)  # max hold ~20.8ms
+        feed(model, [0.0, 100.0])
+        assert model.stats.repeats >= 4
+
+    def test_vrr_beats_vsync_for_varying_stream(self):
+        """The paper's future-work hypothesis: VRR panels "reduce lag by
+        allowing frames to arrive at high but varying rates" — a fixed
+        60 Hz vsync display fed the same stream drops a third of the
+        frames and adds most of a refresh period of latency."""
+        import random
+
+        rng = random.Random(3)
+        t, times = 0.0, []
+        for _ in range(400):
+            t += rng.uniform(8.0, 14.0)  # 70-125 FPS varying arrival
+            times.append(t)
+        vrr = VrrDisplay(min_hz=48, max_hz=144)
+        vsync = VsyncDisplay(refresh_hz=60)
+        feed(vrr, times)
+        feed(vsync, times)
+        assert vrr.stats.dropped == 0
+        assert vsync.stats.dropped > 0.2 * len(times)
+        assert vrr.stats.mean_added_latency_ms < vsync.stats.mean_added_latency_ms
+        assert vrr.stats.torn == 0
+
+
+class TestStatsValidation:
+    def test_empty_stats_raise(self):
+        model = VsyncDisplay()
+        with pytest.raises(ValueError):
+            _ = model.stats.mean_added_latency_ms
+        with pytest.raises(ValueError):
+            _ = model.stats.tear_fraction
+        with pytest.raises(ValueError):
+            model.stats.pacing_jitter_ms()
+
+    def test_presentation_dropped_property(self):
+        assert Presentation(display_time=None).dropped
+        assert not Presentation(display_time=1.0).dropped
+
+
+class TestClientIntegration:
+    def run(self, display_model, spec="ODR60"):
+        config = SystemConfig("IM", PRIVATE_CLOUD, Resolution.R720P, seed=1,
+                              duration_ms=8000, warmup_ms=1500)
+        return CloudSystem(config, make_regulator(spec), display_model=display_model).run()
+
+    def test_vsync_client_end_to_end(self):
+        model = VsyncDisplay(refresh_hz=60)
+        result = self.run(model)
+        assert model.stats.presented > 300
+        # display FPS tracks decode FPS minus drops
+        display_fps = result.stage_mean_fps("display")
+        assert display_fps <= result.client_fps + 0.5
+        assert display_fps > 50
+
+    def test_dropped_frame_inputs_still_answered(self):
+        model = VsyncDisplay(refresh_hz=60)
+        result = self.run(model, spec="NoReg")  # ~90 FPS into 60Hz: many drops
+        assert model.stats.dropped > 100
+        assert result.tracker.open_count <= 3  # no input lost
+
+    def test_vsync_raises_mtp_vs_immediate(self):
+        vsync_result = self.run(VsyncDisplay(refresh_hz=60))
+        plain_result = self.run(None)
+        assert vsync_result.mean_mtp_ms() > plain_result.mean_mtp_ms()
+
+    def test_displayed_frames_have_photon_timestamps(self):
+        model = VsyncDisplay(refresh_hz=60)
+        result = self.run(model)
+        period = 1000.0 / 60.0
+        for frame in result.system.client.displayed[:100]:
+            ratio = frame.t_displayed / period
+            assert abs(ratio - round(ratio)) < 1e-6  # on the vblank grid

@@ -1,0 +1,161 @@
+"""Integration tests for the assembled cloud-3D system."""
+
+import pytest
+
+from repro import CloudSystem, SystemConfig, make_regulator
+from repro.pipeline.frames import DropReason
+from repro.workloads import GCE, PRIVATE_CLOUD, Resolution
+
+
+def run(spec="NoReg", bench="IM", platform=PRIVATE_CLOUD, resolution=Resolution.R720P,
+        seed=1, duration=8000.0, **kwargs):
+    config = SystemConfig(bench, platform, resolution, seed=seed,
+                          duration_ms=duration, warmup_ms=1500.0, **kwargs)
+    return CloudSystem(config, make_regulator(spec)).run()
+
+
+class TestConservation:
+    """Frame-accounting invariants that must hold for any regulator."""
+
+    @pytest.mark.parametrize("spec", ["NoReg", "Int60", "IntMax", "RVS60", "ODR60", "ODRMax"])
+    def test_counts_monotone_through_pipeline(self, spec):
+        result = run(spec)
+        counter = result.counter
+        rendered = counter.count("render")
+        encoded = counter.count("encode")
+        transmitted = counter.count("transmit")
+        decoded = counter.count("decode")
+        assert rendered >= encoded >= transmitted >= decoded
+        # in-flight frames are bounded by the pipeline's buffering
+        assert encoded - decoded < 120
+
+    @pytest.mark.parametrize("spec", ["NoReg", "ODRMax"])
+    def test_drops_account_for_render_encode_difference(self, spec):
+        result = run(spec)
+        rendered = result.counter.count("render")
+        encoded = result.counter.count("encode")
+        dropped = len([f for f in result.system.app.frames if f.dropped is not None])
+        # rendered = encoded + dropped + (in-flight at end)
+        assert 0 <= rendered - encoded - dropped <= 3
+
+    def test_every_displayed_frame_was_encoded_first(self):
+        result = run("ODR60")
+        for f in result.system.client.displayed:
+            assert f.t_encode_end is not None
+            assert f.t_displayed >= f.t_encode_end
+
+    def test_frames_displayed_in_order(self):
+        result = run("NoReg", platform=GCE)
+        displayed = result.system.client.displayed
+        ids = [f.frame_id for f in displayed]
+        assert ids == sorted(ids)
+
+    def test_timestamps_monotone_per_frame(self):
+        result = run("ODRMax")
+        for f in result.system.client.displayed[:500]:
+            stamps = [f.t_created, f.t_render_start, f.t_render_end,
+                      f.t_copy_end, f.t_encode_end, f.t_send_start,
+                      f.t_send_end, f.t_received, f.t_displayed]
+            assert all(s is not None for s in stamps)
+            assert stamps == sorted(stamps)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self):
+        a = run("ODR60", seed=42, duration=5000)
+        b = run("ODR60", seed=42, duration=5000)
+        assert a.client_fps == b.client_fps
+        assert a.mtp_samples() == b.mtp_samples()
+        assert a.fps_gap().series == b.fps_gap().series
+
+    def test_different_seed_different_results(self):
+        a = run("NoReg", seed=1, duration=5000)
+        b = run("NoReg", seed=2, duration=5000)
+        assert a.client_fps != b.client_fps
+
+    def test_regulator_change_does_not_change_workload_draw_streams(self):
+        """Common random numbers: the render-time stream is identical
+        across regulators under the same seed (paired comparisons)."""
+        a = run("NoReg", seed=5, duration=4000)
+        b = run("ODRMax", seed=5, duration=4000)
+        # Compare the first few *uncontended-equivalent* render durations:
+        # divide out the contention multiplier by comparing frame counts
+        # instead — both systems must create frame #1 at t=0.
+        assert a.system.app.frames[0].t_render_start == 0.0
+        assert b.system.app.frames[0].t_render_start == 0.0
+
+
+class TestRunResultAccessors:
+    def test_summary_keys(self):
+        result = run("ODR60")
+        summary = result.summary()
+        for key in ("render_fps", "encode_fps", "client_fps", "fps_gap_mean",
+                    "fps_gap_max", "bandwidth_mbps", "mtp_mean_ms"):
+            assert key in summary
+
+    def test_qos_report(self):
+        result = run("ODR60")
+        report = result.qos(60.0)
+        assert report.n_windows > 0
+        assert 0.0 <= report.satisfaction <= 1.0
+
+    def test_stage_utilization_bounds(self):
+        result = run("NoReg")
+        for stage in ("render", "copy", "encode", "transmit"):
+            assert 0.0 <= result.stage_utilization(stage) <= 1.0
+
+    def test_bandwidth_in_paper_range(self):
+        # Sec. 6.6: 15 to 60 Mbps depending on benchmark/configuration.
+        result = run("ODR60")
+        assert 10.0 <= result.bandwidth_mbps() <= 70.0
+
+    def test_dropped_frames_filter(self):
+        result = run("NoReg")
+        all_drops = result.dropped_frames()
+        overwrites = result.dropped_frames(DropReason.MAILBOX_OVERWRITE)
+        assert len(overwrites) <= len(all_drops)
+        assert all(f.dropped is DropReason.MAILBOX_OVERWRITE for f in overwrites)
+
+    def test_mtp_without_samples_raises(self):
+        result = run("NoReg", duration=4000)
+        result.tracker._samples.clear()
+        result.tracker._open.clear()
+        with pytest.raises(ValueError):
+            result.mean_mtp_ms()
+
+
+class TestBehaviouralShape:
+    """Cheap single-benchmark versions of the paper's headline effects."""
+
+    def test_noreg_has_large_fps_gap(self):
+        result = run("NoReg")
+        assert result.fps_gap().mean_gap > 60
+
+    def test_noreg_client_fps_bounded_by_encoder(self):
+        result = run("NoReg")
+        assert result.client_fps < result.render_fps / 1.5
+
+    def test_regulated_systems_remove_the_gap(self):
+        for spec in ("Int60", "RVS60", "ODR60"):
+            result = run(spec)
+            assert result.fps_gap().mean_gap < 5, spec
+
+    def test_gce_congestion_inflates_noreg_latency(self):
+        private = run("NoReg", platform=PRIVATE_CLOUD)
+        gce = run("NoReg", platform=GCE)
+        assert gce.mean_mtp_ms() > 15 * private.mean_mtp_ms()
+
+    def test_odr_keeps_gce_latency_low(self):
+        gce = run("ODRMax", platform=GCE)
+        assert gce.mean_mtp_ms() < 90.0
+
+    def test_1080p_slower_than_720p(self):
+        hi = run("NoReg", resolution=Resolution.R1080P)
+        lo = run("NoReg", resolution=Resolution.R720P)
+        assert hi.render_fps < lo.render_fps
+
+    def test_contention_feedback_present(self):
+        """Disabling contention must speed NoReg's pipeline up."""
+        base = run("NoReg", duration=6000)
+        free = run("NoReg", duration=6000, contention_beta=0.0)
+        assert free.client_fps > base.client_fps * 1.1

@@ -1,0 +1,313 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simcore import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClockAndTimeout:
+    def test_initial_time_is_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self, env):
+        def proc():
+            yield env.timeout(10.0)
+            return env.now
+
+        p = env.process(proc())
+        assert env.run(p) == 10.0
+
+    def test_timeout_value_passthrough(self, env):
+        def proc():
+            got = yield env.timeout(1.0, value="payload")
+            return got
+
+        assert env.run(env.process(proc())) == "payload"
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_run_until_number_advances_clock_exactly(self, env):
+        env.run(until=42.5)
+        assert env.now == 42.5
+
+    def test_run_until_past_raises(self, env):
+        env.run(until=10)
+        with pytest.raises(ValueError):
+            env.run(until=5)
+
+    def test_zero_delay_events_fire_in_fifo_order(self, env):
+        order = []
+
+        def proc(tag):
+            yield env.timeout(0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_ordered_by_schedule_time(self, env):
+        order = []
+
+        def late():
+            yield env.timeout(5)
+            order.append("late")
+
+        def early():
+            yield env.timeout(5)
+            order.append("early")
+
+        env.process(early())
+        env.process(late())
+        env.run()
+        assert order == ["early", "late"]
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, env):
+        ev = env.event()
+
+        def proc():
+            value = yield ev
+            return value
+
+        p = env.process(proc())
+        ev.succeed(99)
+        assert env.run(p) == 99
+
+    def test_double_succeed_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_raises_inside_process(self, env):
+        ev = env.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(proc())
+        ev.fail(RuntimeError("boom"))
+        assert env.run(p) == "caught boom"
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_unhandled_failure_surfaces_from_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("lost"))
+        with pytest.raises(ValueError, match="lost"):
+            env.run()
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc():
+            yield 42
+
+        p = env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run(p)
+
+
+class TestProcesses:
+    def test_process_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        assert env.run(env.process(proc())) == "done"
+
+    def test_process_joins_process(self, env):
+        def child():
+            yield env.timeout(3)
+            return "child-result"
+
+        def parent():
+            result = yield env.process(child())
+            return (env.now, result)
+
+        assert env.run(env.process(parent())) == (3.0, "child-result")
+
+    def test_is_alive_lifecycle(self, env):
+        def proc():
+            yield env.timeout(1)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_interrupt_wakes_waiting_process(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+                return "finished"
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, env.now)
+
+        def attacker(target):
+            yield env.timeout(10)
+            target.interrupt("wake-up")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        assert env.run(v) == ("interrupted", "wake-up", 10.0)
+
+    def test_interrupt_finished_process_raises(self, env):
+        def proc():
+            yield env.timeout(1)
+
+        p = env.process(proc())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim():
+            while True:
+                try:
+                    yield env.timeout(100)
+                    log.append("slept")
+                    return
+                except Interrupt:
+                    log.append(f"intr@{env.now}")
+
+        def attacker(target):
+            yield env.timeout(5)
+            target.interrupt()
+            yield env.timeout(5)
+            target.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert log == ["intr@5.0", "intr@10.0", "slept"]
+        assert env.now == 110.0
+
+    def test_exception_in_process_propagates(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise KeyError("inner")
+
+        p = env.process(proc())
+        with pytest.raises(KeyError):
+            env.run(p)
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        def proc():
+            t1 = env.timeout(5, value="a")
+            t2 = env.timeout(10, value="b")
+            yield AllOf(env, [t1, t2])
+            return env.now
+
+        assert env.run(env.process(proc())) == 10.0
+
+    def test_any_of_fires_on_first(self, env):
+        def proc():
+            t1 = env.timeout(5, value="fast")
+            t2 = env.timeout(10, value="slow")
+            result = yield AnyOf(env, [t1, t2])
+            return (env.now, t1 in result)
+
+        assert env.run(env.process(proc())) == (5.0, True)
+
+    def test_all_of_helper(self, env):
+        def proc():
+            yield env.all_of([env.timeout(1), env.timeout(2)])
+            return env.now
+
+        assert env.run(env.process(proc())) == 2.0
+
+    def test_any_of_helper(self, env):
+        def proc():
+            yield env.any_of([env.timeout(1), env.timeout(2)])
+            return env.now
+
+        assert env.run(env.process(proc())) == 1.0
+
+    def test_condition_value_mapping(self, env):
+        def proc():
+            t1 = env.timeout(1, value="x")
+            t2 = env.timeout(1, value="y")
+            result = yield env.all_of([t1, t2])
+            return (result[t1], result[t2])
+
+        assert env.run(env.process(proc())) == ("x", "y")
+
+
+class TestCallAt:
+    def test_call_at_runs_function(self, env):
+        seen = []
+        env.call_at(7.0, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [7.0]
+
+    def test_call_at_past_raises(self, env):
+        env.run(until=10)
+        with pytest.raises(ValueError):
+            env.call_at(5.0, lambda: None)
+
+
+class TestRunSemantics:
+    def test_run_until_event(self, env):
+        ev = env.event()
+
+        def proc():
+            yield env.timeout(4)
+            ev.succeed("sig")
+            yield env.timeout(100)
+
+        env.process(proc())
+        assert env.run(until=ev) == "sig"
+        assert env.now == 4.0
+
+    def test_run_until_never_triggered_raises(self, env):
+        ev = env.event()
+
+        def proc():
+            yield env.timeout(1)
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+    def test_step_empty_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")

@@ -1,0 +1,282 @@
+"""Unit tests for Store / PriorityStore / Resource / Gate."""
+
+import pytest
+
+from repro.simcore import Environment, Gate, PriorityStore, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        results = []
+
+        def producer():
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                results.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert results == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        times = []
+
+        def consumer():
+            item = yield store.get()
+            times.append((env.now, item))
+
+        def producer():
+            yield env.timeout(8)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [(8.0, "late")]
+
+    def test_put_blocks_when_full(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put(1)
+            log.append(("p1", env.now))
+            yield store.put(2)
+            log.append(("p2", env.now))
+
+        def consumer():
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert log == [("p1", 0.0), ("p2", 5.0)]
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_try_get_nonblocking(self, env):
+        store = Store(env)
+        assert store.try_get() is None
+
+        def producer():
+            yield store.put("x")
+
+        env.process(producer())
+        env.run()
+        assert store.try_get() == "x"
+        assert store.try_get() is None
+
+    def test_clear_drops_items_and_unblocks_producers(self, env):
+        store = Store(env, capacity=2)
+        log = []
+
+        def producer():
+            for i in range(4):
+                yield store.put(i)
+                log.append((i, env.now))
+
+        def clearer():
+            yield env.timeout(3)
+            dropped = store.clear()
+            log.append(("cleared", dropped))
+
+        env.process(producer())
+        env.process(clearer())
+        env.run()
+        assert ("cleared", [0, 1]) in log
+        # producers 2 and 3 complete after the clear
+        assert (2, 3.0) in log and (3, 3.0) in log
+
+    def test_is_full(self, env):
+        store = Store(env, capacity=1)
+
+        def producer():
+            yield store.put("x")
+
+        env.process(producer())
+        env.run()
+        assert store.is_full
+        assert len(store) == 1
+
+
+class TestPriorityStore:
+    def test_smallest_first(self, env):
+        store = PriorityStore(env)
+        results = []
+
+        def producer():
+            yield store.put((5, "low"))
+            yield store.put((1, "high"))
+            yield store.put((3, "mid"))
+
+        def consumer():
+            yield env.timeout(1)
+            for _ in range(3):
+                item = yield store.get()
+                results.append(item[1])
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert results == ["high", "mid", "low"]
+
+
+class TestResource:
+    def test_exclusive_access(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            log.append((name, "in", env.now))
+            yield env.timeout(hold)
+            res.release(req)
+            log.append((name, "out", env.now))
+
+        env.process(worker("a", 10))
+        env.process(worker("b", 5))
+        env.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 10.0),
+            ("b", "in", 10.0),
+            ("b", "out", 15.0),
+        ]
+
+    def test_capacity_two_allows_concurrency(self, env):
+        res = Resource(env, capacity=2)
+        entries = []
+
+        def worker(name):
+            req = res.request()
+            yield req
+            entries.append((name, env.now))
+            yield env.timeout(5)
+            res.release(req)
+
+        for name in ("a", "b", "c"):
+            env.process(worker(name))
+        env.run()
+        assert entries == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+    def test_release_unknown_raises(self, env):
+        res = Resource(env)
+        other = Resource(env)
+        req = other.request()
+        from repro.simcore import SimulationError
+
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        held = res.request()  # granted immediately
+        queued = res.request()
+        res.release(queued)  # cancel while still queued
+        assert res.count == 1
+        res.release(held)
+        assert res.count == 0
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+
+class TestGate:
+    def test_wait_on_open_gate_is_immediate(self, env):
+        gate = Gate(env, is_open=True)
+
+        def proc():
+            yield gate.wait()
+            return env.now
+
+        assert env.run(env.process(proc())) == 0.0
+
+    def test_wait_blocks_until_open(self, env):
+        gate = Gate(env)
+
+        def waiter():
+            yield gate.wait()
+            return env.now
+
+        def opener():
+            yield env.timeout(12)
+            gate.open()
+
+        p = env.process(waiter())
+        env.process(opener())
+        assert env.run(p) == 12.0
+
+    def test_open_is_broadcast(self, env):
+        gate = Gate(env)
+        woken = []
+
+        def waiter(tag):
+            yield gate.wait()
+            woken.append(tag)
+
+        for tag in range(3):
+            env.process(waiter(tag))
+
+        def opener():
+            yield env.timeout(1)
+            gate.open()
+
+        env.process(opener())
+        env.run()
+        assert woken == [0, 1, 2]
+
+    def test_close_reblocks(self, env):
+        gate = Gate(env, is_open=True)
+        log = []
+
+        def waiter():
+            yield gate.wait()
+            log.append(env.now)
+            gate.close()
+            yield gate.wait()
+            log.append(env.now)
+
+        def opener():
+            yield env.timeout(20)
+            gate.open()
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert log == [0.0, 20.0]
+
+    def test_pulse_releases_but_stays_closed(self, env):
+        gate = Gate(env)
+        log = []
+
+        def waiter(tag):
+            yield gate.wait()
+            log.append((tag, env.now))
+
+        env.process(waiter("first"))
+
+        def pulser():
+            yield env.timeout(5)
+            gate.pulse()
+            assert not gate.is_open
+
+        env.process(pulser())
+        env.run()
+        assert log == [("first", 5.0)]

@@ -1,0 +1,138 @@
+"""Tests for busy-interval tracing and the overlap profile."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import IntervalTrace
+from repro.simcore.tracing import overlap_profile, windowed_counts
+
+
+class TestIntervalTrace:
+    def test_record_and_filter(self):
+        trace = IntervalTrace()
+        trace.record("render", 0, 5)
+        trace.record("encode", 3, 9)
+        assert len(trace) == 2
+        assert [r.stage for r in trace.records("render")] == ["render"]
+        assert trace.stages() == ["encode", "render"]
+
+    def test_zero_length_intervals_skipped(self):
+        trace = IntervalTrace()
+        trace.record("render", 5, 5)
+        assert len(trace) == 0
+
+    def test_backwards_interval_rejected(self):
+        trace = IntervalTrace()
+        with pytest.raises(ValueError):
+            trace.record("render", 5, 4)
+
+    def test_busy_time_with_clipping(self):
+        trace = IntervalTrace()
+        trace.record("render", 0, 10)
+        trace.record("render", 20, 30)
+        assert trace.busy_time("render") == 20
+        assert trace.busy_time("render", start=5, end=25) == 10
+
+    def test_utilization(self):
+        trace = IntervalTrace()
+        trace.record("encode", 0, 25)
+        assert trace.utilization("encode", 0, 100) == 0.25
+
+    def test_utilization_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            IntervalTrace().utilization("x", 5, 5)
+
+    def test_record_duration(self):
+        trace = IntervalTrace()
+        trace.record("net", 2, 9)
+        assert trace.records()[0].duration == 7
+
+
+class TestOverlapProfile:
+    def test_disjoint_intervals_never_overlap(self):
+        trace = IntervalTrace()
+        trace.record("a", 0, 10)
+        trace.record("b", 10, 20)
+        profile = overlap_profile(trace, ["a", "b"], 0, 20)
+        assert profile[1] == pytest.approx(1.0)
+        assert profile[2] == pytest.approx(0.0)
+
+    def test_full_overlap(self):
+        trace = IntervalTrace()
+        trace.record("a", 0, 10)
+        trace.record("b", 0, 10)
+        profile = overlap_profile(trace, ["a", "b"], 0, 10)
+        assert profile[2] == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        trace = IntervalTrace()
+        trace.record("a", 0, 6)
+        trace.record("b", 4, 10)
+        profile = overlap_profile(trace, ["a", "b"], 0, 10)
+        assert profile[0] == pytest.approx(0.0)
+        assert profile[1] == pytest.approx(0.8)
+        assert profile[2] == pytest.approx(0.2)
+
+    def test_idle_time_counted_as_zero_level(self):
+        trace = IntervalTrace()
+        trace.record("a", 2, 4)
+        profile = overlap_profile(trace, ["a"], 0, 10)
+        assert profile[0] == pytest.approx(0.8)
+        assert profile[1] == pytest.approx(0.2)
+
+    def test_unlisted_stage_ignored(self):
+        trace = IntervalTrace()
+        trace.record("a", 0, 10)
+        trace.record("other", 0, 10)
+        profile = overlap_profile(trace, ["a"], 0, 10)
+        assert profile[1] == pytest.approx(1.0)
+
+    def test_empty_trace_all_idle(self):
+        profile = overlap_profile(IntervalTrace(), ["a", "b"], 0, 10)
+        assert profile[0] == 1.0
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            overlap_profile(IntervalTrace(), ["a"], 5, 5)
+
+    @given(
+        intervals=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(min_value=0, max_value=90),
+                st.floats(min_value=0.1, max_value=10),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_profile_fractions_sum_to_one(self, intervals):
+        trace = IntervalTrace()
+        for stage, start, duration in intervals:
+            trace.record(stage, start, start + duration)
+        profile = overlap_profile(trace, ["a", "b", "c"], 0, 100)
+        assert sum(profile.values()) == pytest.approx(1.0)
+        assert all(v >= -1e-12 for v in profile.values())
+
+
+class TestWindowedCounts:
+    def test_basic_counting(self):
+        times = [0.5, 1.5, 1.6, 2.5]
+        assert windowed_counts(times, window=1.0, start=0, end=3) == [1, 2, 1]
+
+    def test_out_of_range_excluded(self):
+        times = [-1, 0.5, 10.0]
+        assert windowed_counts(times, window=1.0, start=0, end=2) == [1, 0]
+
+    def test_partial_trailing_window_dropped(self):
+        times = [0.1, 1.1, 2.4]
+        # [0,2.5) with window 1 -> two full windows only
+        assert windowed_counts(times, window=1.0, start=0, end=2.5) == [1, 1]
+
+    def test_empty_range(self):
+        assert windowed_counts([1, 2], window=1.0, start=5, end=5) == []
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            windowed_counts([1], window=0, start=0, end=1)
