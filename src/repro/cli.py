@@ -3,6 +3,7 @@
 Subcommands::
 
     run         run one benchmark under one configuration and print metrics
+    trace       run one configuration and write a Chrome/Perfetto trace
     figure      regenerate one of the paper's figures (1,3,4,5,6,7,9,...,13)
     table2      regenerate Table 2 (FPS gaps, all configurations)
     summary     regenerate the Sec. 6.6 overall summary
@@ -51,6 +52,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resolution", choices=[r.value for r in Resolution], default="720p"
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one configuration with telemetry and write a Chrome trace",
+    )
+    trace.add_argument("--benchmark", choices=sorted(BENCHMARKS), required=True)
+    trace.add_argument(
+        "--regulator", required=True, help="e.g. NoReg, Int60, RVSMax, ODR60, odr"
+    )
+    trace.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    trace.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+    trace.add_argument(
+        "-o", "--output", required=True,
+        help="Chrome Trace Format output path (open in chrome://tracing or Perfetto)",
+    )
+    trace.add_argument(
+        "--jsonl", help="also write a JSONL telemetry dump to this path"
+    )
+    trace.add_argument(
+        "--no-probe", action="store_true",
+        help="skip engine-level probing (events, heap depth, wall clock)",
+    )
+
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument(
         "number",
@@ -68,6 +93,10 @@ def _build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("output", help="destination CSV path")
     matrix.add_argument("--ablation", action="store_true",
                         help="include the ODRMax-noPri rows")
+    matrix.add_argument(
+        "--telemetry-dir",
+        help="also persist per-cell Chrome traces + JSONL telemetry here",
+    )
 
     compare = sub.add_parser(
         "compare", help="paired multi-seed comparison of two regulators"
@@ -138,6 +167,55 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.obs import Telemetry, write_chrome_trace, write_jsonl
+
+    telemetry = Telemetry(engine_probe=not args.no_probe)
+    config = SystemConfig(
+        benchmark=args.benchmark,
+        platform=PLATFORMS[args.platform],
+        resolution=Resolution(args.resolution),
+        seed=args.seed,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+    )
+    regulator = make_regulator(args.regulator)
+    CloudSystem(config, regulator, telemetry=telemetry).run()
+
+    n_events = write_chrome_trace(telemetry, args.output)
+    snapshot = telemetry.snapshot()
+    displayed = snapshot.counter_value("frames_displayed_total")
+    spans = telemetry.spans
+    lines = [
+        f"benchmark={args.benchmark} platform={args.platform} "
+        f"resolution={args.resolution} regulator={regulator.name}",
+        f"  spans      : {len(spans)} frames "
+        f"({displayed:.0f} displayed, {len(spans.spans(dropped=True))} dropped)",
+    ]
+    for key, value in sorted(snapshot.counters.items(), key=lambda i: str(i[0])):
+        if key.name == "frames_dropped_total":
+            lines.append(f"  drops      : {key.label('reason')} x {value:.0f}")
+    gate = snapshot.histogram_stats("gate_delay_ms")
+    if gate.count:
+        lines.append(
+            f"  gate delay : mean {gate.mean:.2f} ms  p99 {gate.p99:.2f} ms"
+        )
+    if telemetry.probe is not None:
+        probe = telemetry.probe.summary()
+        wall = probe["wall_per_sim_second_mean"]
+        lines.append(
+            f"  engine     : {probe['events_fired']} events fired, "
+            f"heap depth {probe['max_heap_depth']}, "
+            f"{probe['processes_started']} processes"
+            + (f", {wall * 1000:.2f} ms wall/sim-s" if wall is not None else "")
+        )
+    lines.append(f"  wrote {n_events} trace events to {args.output}")
+    if args.jsonl:
+        n_lines = write_jsonl(telemetry, args.jsonl)
+        lines.append(f"  wrote {n_lines} JSONL records to {args.jsonl}")
+    return "\n".join(lines)
+
+
 def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
     from repro.experiments import figures
 
@@ -163,6 +241,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "trace":
+        print(_cmd_trace(args))
     elif args.command == "figure":
         print(_cmd_figure(args, runner))
         if args.number == "5":
@@ -196,6 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.config import paper_configuration_matrix as matrix_fn
         from repro.experiments.export import records_to_csv
 
+        runner.telemetry_dir = args.telemetry_dir
         records = []
         for config in matrix_fn(include_ablation=args.ablation):
             for bench in sorted(BENCHMARKS):

@@ -133,12 +133,18 @@ class OnDemandRendering(Regulator):
                 # (the rendering-delay cancellation of Sec. 5.3).
                 self.clock.cancel_debt()
                 continue
+            telemetry = system.telemetry
+            if telemetry is not None:
+                telemetry.count("pacing_sleeps_total")
+                telemetry.observe("pacing_sleep_ms", sleep_ms)
             try:
                 self._pacing_process = env.active_process
                 yield env.timeout(sleep_ms)
             except Interrupt:
                 # PriorityFrame cut the pacing short.
                 self.clock.cancel_debt()
+                if telemetry is not None:
+                    telemetry.count("pacing_interrupts_total")
             finally:
                 self._pacing_process = None
 

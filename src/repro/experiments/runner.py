@@ -5,10 +5,16 @@ results so figure generators that share cells (most of them) do not
 re-simulate.  An :class:`ExperimentRecord` carries every number the
 paper reports for a run: per-stage FPS, FPS-gap statistics, MtP
 latency, windowed QoS satisfaction, DRAM/IPC/power, and bandwidth.
+
+With ``telemetry_dir`` set, every executed cell also runs under a
+:class:`repro.obs.Telemetry` and persists its full telemetry next to
+the CSV exports: a Chrome-trace JSON (Perfetto-loadable) and a JSONL
+dump per cell (see :mod:`repro.obs.exporters`).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -71,10 +77,19 @@ class ExperimentRecord:
 class Runner:
     """Memoizing executor for the evaluation matrix."""
 
-    def __init__(self, seed: int = 1, duration_ms: float = 20000.0, warmup_ms: float = 3000.0):
+    def __init__(
+        self,
+        seed: int = 1,
+        duration_ms: float = 20000.0,
+        warmup_ms: float = 3000.0,
+        telemetry_dir: Optional[str] = None,
+    ):
         self.seed = seed
         self.duration_ms = duration_ms
         self.warmup_ms = warmup_ms
+        #: When set, each executed cell persists a Chrome trace and a
+        #: JSONL telemetry dump into this directory.
+        self.telemetry_dir = telemetry_dir
         self._cache: Dict[Tuple[str, str, int], ExperimentRecord] = {}
 
     def run_cell(
@@ -114,7 +129,14 @@ class Runner:
             duration_ms=self.duration_ms,
             warmup_ms=self.warmup_ms,
         )
-        result = CloudSystem(sys_config, regulator).run()
+        telemetry = None
+        if self.telemetry_dir is not None:
+            from repro.obs import Telemetry
+
+            telemetry = Telemetry()
+        result = CloudSystem(sys_config, regulator, telemetry=telemetry).run()
+        if telemetry is not None:
+            self._persist_telemetry(telemetry, benchmark, config, seed)
 
         gap = result.fps_gap()
         mtp_samples = result.mtp_samples()
@@ -145,3 +167,15 @@ class Runner:
             frames_rendered=result.frames_rendered(),
             frames_dropped=len(result.dropped_frames()),
         )
+
+    def _persist_telemetry(
+        self, telemetry, benchmark: str, config: ExperimentConfig, seed: int
+    ) -> None:
+        """Write one cell's Chrome trace + JSONL dump to telemetry_dir."""
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        os.makedirs(self.telemetry_dir, exist_ok=True)
+        label = config.label.replace("/", "-")
+        stem = os.path.join(self.telemetry_dir, f"{benchmark}_{label}_s{seed}")
+        write_chrome_trace(telemetry, stem + ".trace.json")
+        write_jsonl(telemetry, stem + ".jsonl")

@@ -71,6 +71,13 @@ class TenantSession:
         self.counter = FpsCounter()
         self.tracker = MtpLatencyTracker()
         self.trace = IntervalTrace()
+        # A labeled view on the server's shared telemetry: this session's
+        # spans and metric series carry a session="s<index>" label.
+        self.telemetry = (
+            server.telemetry.for_session(f"s{index}")
+            if server.telemetry is not None
+            else None
+        )
 
         # shared server state
         self.contention = server.contention
@@ -147,6 +154,9 @@ class SharedServer:
         Device capacities.  One GPU context renders at a time by
         default; a 16-core server comfortably runs a few encoder
         threads.
+    telemetry:
+        Optional shared :class:`repro.obs.Telemetry`; each session
+        publishes into it under a ``session="s<index>"`` label.
     """
 
     def __init__(
@@ -162,6 +172,7 @@ class SharedServer:
         encode_slots: int = 4,
         contention_beta: float = 0.25,
         qos_target_fps: Optional[float] = None,
+        telemetry=None,
     ):
         if not benchmarks:
             raise ValueError("need at least one session")
@@ -176,8 +187,9 @@ class SharedServer:
             if qos_target_fps is not None
             else float(resolution.default_fps_target)
         )
+        self.telemetry = telemetry
 
-        self.env = Environment()
+        self.env = Environment(probe=telemetry.probe if telemetry is not None else None)
         self.rng = SeededRng(seed, name="server")
         self.contention = ContentionTracker(beta=contention_beta)
         self.gpu = Resource(self.env, capacity=gpu_slots)

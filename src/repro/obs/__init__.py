@@ -1,0 +1,66 @@
+"""End-to-end run observability.
+
+``repro.obs`` threads telemetry through every layer of the simulator:
+
+:class:`Telemetry`
+    The facade a run publishes into — pass one to
+    :class:`~repro.pipeline.system.CloudSystem` (or
+    :class:`~repro.multitenant.server.SharedServer`) to enable
+    collection.  Without one, every hook site is a single ``is None``
+    branch: observability is zero-overhead by default.
+:class:`FrameSpan` / :class:`SpanStore`
+    Per-frame causal traces: enter/exit times of every pipeline stage
+    plus regulator gate delays and drop events, queryable by frame id.
+:class:`MetricsRegistry`
+    Labeled counters/gauges/histograms with snapshot/delta semantics
+    (``frames_dropped_total{reason=...}``, ``gate_delay_ms``,
+    ``queue_depth{stage=...}``, ...).
+:class:`EngineProbe`
+    Opt-in introspection of the discrete-event engine: events
+    scheduled/fired, heap depth, process counts, wall-clock per
+    simulated second.
+:func:`chrome_trace` / :func:`write_chrome_trace` / :func:`write_jsonl`
+    Exporters: Chrome Trace Format (``chrome://tracing`` / Perfetto)
+    and JSONL.
+
+See ``docs/OBSERVABILITY.md`` for a worked example.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.probes import EngineProbe
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramStats,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SeriesKey,
+)
+from repro.obs.spans import PIPELINE_STAGES, FrameSpan, SpanStore, StageInterval
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "Counter",
+    "EngineProbe",
+    "FrameSpan",
+    "Gauge",
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SeriesKey",
+    "SpanStore",
+    "StageInterval",
+    "Telemetry",
+    "chrome_trace",
+    "jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,160 @@
+"""Trace exporters: Chrome Trace Format and JSONL.
+
+``chrome_trace`` converts a run's telemetry into the Chrome Trace
+Format (the JSON object form with a ``traceEvents`` array), loadable
+in ``chrome://tracing`` and Perfetto.  The mapping:
+
+* each tenant session becomes one *process* (pid), named via metadata
+  events;
+* each pipeline stage (render, copy, encode, transmit, decode) becomes
+  one *thread* (tid) inside its session's process, plus a ``gate``
+  thread for regulator-injected rendering delays and a ``lifecycle``
+  thread for drop events;
+* each stage interval becomes a complete ("X") event carrying the
+  frame id in ``args``, so Perfetto's search box finds every slice of
+  one frame's journey;
+* each drop becomes an instant ("i") event named after its reason.
+
+Simulation time is milliseconds; Chrome traces use microseconds, so
+timestamps are scaled by 1000 on export.
+
+``write_jsonl`` emits the machine-readable form: one JSON object per
+line — every frame span, then the final metrics snapshot, then the
+engine-probe summary when a probe was attached.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List
+
+from repro.obs.spans import PIPELINE_STAGES
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["chrome_trace", "jsonl_lines", "write_chrome_trace", "write_jsonl"]
+
+#: Thread layout inside each session's trace process.
+_THREADS: Dict[str, int] = {"gate": 1}
+_THREADS.update({stage: i + 2 for i, stage in enumerate(PIPELINE_STAGES)})
+_THREADS["lifecycle"] = len(_THREADS) + 1
+
+_MS_TO_US = 1000.0
+
+
+def _pid_map(telemetry: Telemetry) -> Dict[str, int]:
+    sessions = telemetry.spans.sessions() or [""]
+    return {session: pid for pid, session in enumerate(sessions, start=1)}
+
+
+def chrome_trace(telemetry: Telemetry) -> dict:
+    """Build the Chrome Trace Format object for one run's telemetry."""
+    pids = _pid_map(telemetry)
+    events: List[dict] = []
+
+    for session, pid in pids.items():
+        label = f"session {session}" if session else "cloud-3d run"
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0, "args": {"name": label}}
+        )
+        for thread, tid in _THREADS.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+
+    for span in telemetry.spans:
+        pid = pids.get(span.session, 1)
+        args = {"frame_id": span.frame_id}
+        if span.priority:
+            args["priority"] = True
+        if span.gate_delay_ms > 0:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": "gate",
+                    "cat": "regulator",
+                    "ts": (span.opened_at - span.gate_delay_ms) * _MS_TO_US,
+                    "dur": span.gate_delay_ms * _MS_TO_US,
+                    "pid": pid,
+                    "tid": _THREADS["gate"],
+                    "args": args,
+                }
+            )
+        for interval in span.intervals:
+            if interval.end is None:
+                continue
+            events.append(
+                {
+                    "ph": "X",
+                    "name": interval.stage,
+                    "cat": "pipeline",
+                    "ts": interval.start * _MS_TO_US,
+                    "dur": interval.duration_ms * _MS_TO_US,
+                    "pid": pid,
+                    "tid": _THREADS.get(interval.stage, _THREADS["lifecycle"]),
+                    "args": args,
+                }
+            )
+        if span.dropped and span.closed_at is not None:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": f"drop:{span.drop_reason}",
+                    "cat": "lifecycle",
+                    "s": "t",
+                    "ts": span.closed_at * _MS_TO_US,
+                    "pid": pid,
+                    "tid": _THREADS["lifecycle"],
+                    "args": args,
+                }
+            )
+
+    events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> int:
+    """Write the Chrome trace to ``path``; returns the event count."""
+    trace = chrome_trace(telemetry)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+def jsonl_lines(telemetry: Telemetry) -> Iterator[str]:
+    """One JSON object per line: spans, metrics snapshot, probe summary."""
+    for span in telemetry.spans:
+        record = {"type": "frame_span"}
+        record.update(span.to_dict())
+        yield json.dumps(record)
+    snapshot = {"type": "metrics_snapshot"}
+    snapshot.update(telemetry.snapshot().to_dict())
+    yield json.dumps(snapshot)
+    if telemetry.probe is not None:
+        probe = {"type": "engine_probe"}
+        probe.update(telemetry.probe.summary())
+        yield json.dumps(probe)
+
+
+def write_jsonl(telemetry: Telemetry, path: str) -> int:
+    """Write the JSONL telemetry dump to ``path``; returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for line in jsonl_lines(telemetry):
+            handle.write(line + "\n")
+            count += 1
+    return count

@@ -1,0 +1,105 @@
+"""Engine probes: introspection of the discrete-event core.
+
+The simulation engine (:mod:`repro.simcore.engine`) is the hot path of
+every experiment, so its observability hooks are *opt-in*: an
+:class:`~repro.simcore.engine.Environment` constructed without a probe
+pays only one ``is None`` branch per scheduled/fired event, and a
+benchmark guard (``tests/test_obs_benchmark.py``) holds that under 5 %
+of pre-instrumentation runtime.
+
+With a probe attached, the engine reports every scheduled event, every
+fired event, and every started process.  :class:`EngineProbe`
+aggregates those into the numbers that make engine-level hot spots and
+runaway schedules visible:
+
+* events scheduled / fired, and the calendar's peak heap depth;
+* processes started (with per-name counts — a process name that keeps
+  growing is a spawn leak);
+* wall-clock seconds per simulated second, sampled at every simulated
+  second boundary, which is the engine's own "how fast is the hardware
+  letting us run" metric.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["EngineProbe"]
+
+
+class EngineProbe:
+    """Collects engine-level statistics from an attached Environment.
+
+    The three ``on_*`` methods are the engine-facing hook interface;
+    anything with the same methods can be passed as the environment's
+    ``probe``.
+    """
+
+    def __init__(self, wallclock: Optional[object] = None) -> None:
+        #: Clock used for wall-time sampling (injectable for tests).
+        self._perf_counter = wallclock if wallclock is not None else time.perf_counter
+        self.events_scheduled = 0
+        self.events_fired = 0
+        self.max_heap_depth = 0
+        self.processes_started = 0
+        self.process_names: Dict[str, int] = {}
+        #: (simulated second, wall seconds spent inside it) samples.
+        self.wall_per_sim_second: List[float] = []
+        self._current_sim_second: Optional[int] = None
+        self._second_wall_start: float = 0.0
+
+    # -- engine-facing hooks ---------------------------------------------
+
+    def on_event_scheduled(self, time_ms: float, priority: int, heap_depth: int) -> None:
+        """An event was pushed on the calendar (depth counts it)."""
+        self.events_scheduled += 1
+        if heap_depth > self.max_heap_depth:
+            self.max_heap_depth = heap_depth
+
+    def on_event_fired(self, now_ms: float, heap_depth: int) -> None:
+        """An event was popped and its callbacks are about to run."""
+        self.events_fired += 1
+        second = int(now_ms // 1000.0)
+        if second != self._current_sim_second:
+            wall = self._perf_counter()
+            if self._current_sim_second is not None:
+                # Attribute the elapsed wall time to each simulated second
+                # crossed (usually exactly one).
+                gap = max(1, second - self._current_sim_second)
+                per_second = (wall - self._second_wall_start) / gap
+                for _ in range(gap):
+                    self.wall_per_sim_second.append(per_second)
+            self._current_sim_second = second
+            self._second_wall_start = wall
+
+    def on_process_started(self, name: str) -> None:
+        """A new Process was created on the environment."""
+        self.processes_started += 1
+        self.process_names[name] = self.process_names.get(name, 0) + 1
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Events scheduled but not yet fired."""
+        return self.events_scheduled - self.events_fired
+
+    def mean_wall_per_sim_second(self) -> Optional[float]:
+        """Average wall-clock seconds per simulated second, if sampled."""
+        if not self.wall_per_sim_second:
+            return None
+        return sum(self.wall_per_sim_second) / len(self.wall_per_sim_second)
+
+    def summary(self) -> dict:
+        """Flat dict for JSONL export / CLI display."""
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_fired": self.events_fired,
+            "pending_events": self.pending_events,
+            "max_heap_depth": self.max_heap_depth,
+            "processes_started": self.processes_started,
+            "process_names": dict(sorted(self.process_names.items())),
+            "wall_per_sim_second_mean": self.mean_wall_per_sim_second(),
+            "sim_seconds_sampled": len(self.wall_per_sim_second),
+        }

@@ -1,0 +1,129 @@
+"""The telemetry facade the pipeline publishes into.
+
+One :class:`Telemetry` object bundles the three observability stores —
+per-frame spans (:mod:`repro.obs.spans`), the labeled metrics registry
+(:mod:`repro.obs.registry`), and the optional engine probe
+(:mod:`repro.obs.probes`) — behind the small set of hook methods the
+pipeline calls.
+
+**Zero overhead by default.**  Telemetry is opt-in: a
+:class:`~repro.pipeline.system.CloudSystem` (or multi-tenant
+:class:`~repro.multitenant.server.SharedServer`) constructed without a
+telemetry object keeps ``system.telemetry is None`` and every call
+site guards with a single ``is not None`` check, so disabled runs pay
+no method calls, no allocations, and no dictionary lookups.
+
+**Multi-tenant labeling.**  :meth:`Telemetry.for_session` returns a
+lightweight view that shares the same stores but stamps every span and
+metric series with a ``session`` label, so per-session time series of
+a consolidated server stay separable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.probes import EngineProbe
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+from repro.obs.spans import SpanStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.frames import Frame
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Spans + metrics registry + engine probe behind one handle.
+
+    Parameters
+    ----------
+    engine_probe:
+        Attach an :class:`EngineProbe` so environments built with this
+        telemetry also report engine-level statistics (events, heap
+        depth, wall-clock per simulated second).
+    """
+
+    def __init__(self, engine_probe: bool = False):
+        self.spans = SpanStore()
+        self.registry = MetricsRegistry()
+        self.probe: Optional[EngineProbe] = EngineProbe() if engine_probe else None
+        #: Session namespace for spans and metric labels ("" = single run).
+        self.session = ""
+
+    def for_session(self, session: str) -> "Telemetry":
+        """A view on the same stores labeled for one tenant session."""
+        view = Telemetry.__new__(Telemetry)
+        view.spans = self.spans
+        view.registry = self.registry
+        view.probe = self.probe
+        view.session = str(session)
+        return view
+
+    def _labels(self, **labels: object) -> dict:
+        if self.session:
+            labels["session"] = self.session
+        return labels
+
+    # -- span hooks (called by pipeline stages) --------------------------
+
+    def frame_opened(self, frame: "Frame", at: float, gate_delay_ms: float = 0.0) -> None:
+        """A frame was created after the regulator's gate released."""
+        self.spans.open(
+            frame.frame_id,
+            at,
+            session=self.session,
+            gate_delay_ms=gate_delay_ms,
+            priority=frame.priority,
+            input_triggered=frame.triggered_by_input,
+        )
+        self.registry.counter("frames_created_total", **self._labels()).inc()
+        self.registry.histogram("gate_delay_ms", **self._labels()).observe(gate_delay_ms)
+
+    def stage_complete(self, frame: "Frame", stage: str, start: float, end: float) -> None:
+        """One pipeline stage finished processing ``frame``."""
+        self.spans.stage(frame.frame_id, stage, start, end, session=self.session)
+        labels = self._labels(stage=stage)
+        self.registry.counter("stage_frames_total", **labels).inc()
+        self.registry.histogram("stage_ms", **labels).observe(end - start)
+
+    def frame_dropped(self, frame: "Frame", at: float, reason: str) -> None:
+        """``frame`` was discarded before reaching the screen."""
+        self.spans.drop(frame.frame_id, at, reason, session=self.session)
+        self.registry.counter(
+            "frames_dropped_total", **self._labels(reason=reason)
+        ).inc()
+
+    def frame_displayed(self, frame: "Frame", at: float) -> None:
+        """``frame`` became photons at the client; its span closes."""
+        self.spans.close(frame.frame_id, at, session=self.session)
+        self.registry.counter("frames_displayed_total", **self._labels()).inc()
+        span = self.spans.get(frame.frame_id, session=self.session)
+        if span is not None:
+            self.registry.histogram("frame_pipeline_ms", **self._labels()).observe(
+                at - span.opened_at
+            )
+
+    # -- metric hooks ----------------------------------------------------
+
+    def queue_depth(self, stage: str, depth: int) -> None:
+        """Publish the current depth of an inter-stage queue."""
+        self.registry.gauge("queue_depth", **self._labels(stage=stage)).set(depth)
+
+    def queue_bytes(self, stage: str, nbytes: int) -> None:
+        """Publish the current byte occupancy of an inter-stage queue."""
+        self.registry.gauge("queue_bytes", **self._labels(stage=stage)).set(nbytes)
+
+    def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Increment an arbitrary counter (session label auto-applied)."""
+        self.registry.counter(name, **self._labels(**labels)).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record an arbitrary histogram observation."""
+        self.registry.histogram(name, **self._labels(**labels)).observe(value)
+
+    # -- reading ---------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Point-in-time copy of every metric series."""
+        return self.registry.snapshot()

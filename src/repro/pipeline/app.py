@@ -95,7 +95,7 @@ class Application3D:
         self.frames.append(frame)
         return frame
 
-    def _busy_stage(self, stage: str, sampler):
+    def _busy_stage(self, stage: str, sampler, frame: Frame):
         """Generator: run one contention-inflated stage and trace it.
 
         Rendering additionally acquires the (possibly shared) GPU when
@@ -117,6 +117,8 @@ class Application3D:
             finally:
                 system.contention.exit(stage)
             system.trace.record(stage, start, self.env.now)
+            if system.telemetry is not None:
+                system.telemetry.stage_complete(frame, stage, start, self.env.now)
         finally:
             if request is not None:
                 resource.release(request)
@@ -127,16 +129,21 @@ class Application3D:
         env = self.env
         system = self.system
         while True:
+            gate_entered = env.now
             self.in_gate = True
             try:
                 yield from system.regulator.app_wait(self)
             finally:
                 self.in_gate = False
             frame = self._begin_frame()
+            if system.telemetry is not None:
+                system.telemetry.frame_opened(
+                    frame, env.now, gate_delay_ms=env.now - gate_entered
+                )
             frame.t_render_start = env.now
-            yield from self._busy_stage("render", self._render_sampler)
+            yield from self._busy_stage("render", self._render_sampler, frame)
             frame.t_render_end = env.now
             system.counter.record("render", env.now)
-            yield from self._busy_stage("copy", self._copy_sampler)
+            yield from self._busy_stage("copy", self._copy_sampler, frame)
             frame.t_copy_end = env.now
             yield from system.regulator.app_submit(self, frame)

@@ -81,6 +81,8 @@ class Client:
             decode_start = env.now
             yield env.timeout(self._decode_sampler.next())
             system.trace.record("decode", decode_start, env.now)
+            if system.telemetry is not None:
+                system.telemetry.stage_complete(frame, "decode", decode_start, env.now)
             system.counter.record("decode", env.now)
             if self.display_model is None:
                 # The paper's client: a frame becomes photons when its
@@ -88,6 +90,8 @@ class Client:
                 frame.t_displayed = env.now
                 self.displayed.append(frame)
                 system.tracker.frame_displayed(frame.input_ids, env.now)
+                if system.telemetry is not None:
+                    system.telemetry.frame_displayed(frame, env.now)
             else:
                 self._present(frame)
             system.regulator.on_client_display(self, frame)
@@ -103,6 +107,8 @@ class Client:
             # The frame never reaches the screen; its inputs are
             # answered by the next presented frame.
             self._carry_ids = answer_ids
+            if system.telemetry is not None:
+                system.telemetry.frame_dropped(frame, env.now, "display_drop")
             return
         when = presentation.display_time
         frame.t_displayed = when
@@ -110,11 +116,16 @@ class Client:
         if when <= env.now:
             system.counter.record("display", when)
             system.tracker.frame_displayed(answer_ids, when)
+            if system.telemetry is not None:
+                system.telemetry.frame_displayed(frame, when)
         else:
             env.call_at(
                 when,
-                lambda ids=answer_ids, t=when: (
+                lambda ids=answer_ids, t=when, f=frame: (
                     system.counter.record("display", t),
                     system.tracker.frame_displayed(ids, t),
+                    system.telemetry.frame_displayed(f, t)
+                    if system.telemetry is not None
+                    else None,
                 ),
             )

@@ -73,6 +73,10 @@ class NetworkPath:
         yield env.timeout(self.serialize_ms(frame.size_bytes))
         frame.t_send_end = env.now
         self.system.trace.record("transmit", frame.t_send_start, frame.t_send_end)
+        if self.system.telemetry is not None:
+            self.system.telemetry.stage_complete(
+                frame, "transmit", frame.t_send_start, frame.t_send_end
+            )
         self.system.counter.record("transmit", env.now)
         self.sent_count += 1
         self.sent_bytes += frame.size_bytes

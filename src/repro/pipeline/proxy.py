@@ -50,6 +50,8 @@ class ServerProxy:
         finally:
             system.contention.exit("encode")
         system.trace.record("encode", start, env.now)
+        if system.telemetry is not None:
+            system.telemetry.stage_complete(frame, "encode", start, env.now)
         frame.t_encode_end = env.now
         # Read the sampler through the system so quality-ladder wrappers
         # (repro.pipeline.abr) spliced in after construction take effect.

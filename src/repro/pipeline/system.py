@@ -40,6 +40,7 @@ from repro.workloads import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Telemetry
     from repro.regulators.base import Regulator
 
 __all__ = ["CloudSystem", "RunResult", "SystemConfig"]
@@ -78,6 +79,10 @@ class CloudSystem:
     ``abr`` optionally attaches an adaptive-bitrate controller
     (:mod:`repro.pipeline.abr`), and ``bandwidth_schedule`` makes the
     network path's capacity time-varying (:mod:`repro.pipeline.netdyn`).
+    ``telemetry`` opts into run observability (:mod:`repro.obs`):
+    per-frame spans, labeled metrics, and — when the telemetry object
+    carries a probe — engine introspection.  Left as ``None``, every
+    telemetry hook in the pipeline is a single ``is None`` branch.
     """
 
     def __init__(
@@ -87,14 +92,16 @@ class CloudSystem:
         display_model=None,
         abr=None,
         bandwidth_schedule=None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.config = config
         self.benchmark = config.resolve_benchmark()
         self.platform = config.platform
         self.resolution = config.resolution
         self.regulator = regulator
+        self.telemetry = telemetry
 
-        self.env = Environment()
+        self.env = Environment(probe=telemetry.probe if telemetry is not None else None)
         self.rng = SeededRng(config.seed, name="system")
         # Shared-device hooks; single-session systems own their devices
         # outright (no queueing), multi-tenant sessions share Resources
@@ -204,6 +211,17 @@ class RunResult:
     @property
     def trace(self) -> IntervalTrace:
         return self.system.trace
+
+    def telemetry(self) -> Optional["Telemetry"]:
+        """The run's telemetry (spans, metrics, probe), if it was enabled.
+
+        Returns the :class:`repro.obs.Telemetry` object passed to the
+        system at construction time — per-frame spans via
+        ``result.telemetry().spans``, a metrics snapshot via
+        ``result.telemetry().snapshot()`` — or ``None`` for a run
+        executed without observability.
+        """
+        return self.system.telemetry
 
     # -- FPS metrics -------------------------------------------------------
 

@@ -69,10 +69,16 @@ class Regulator:
     def build(self, system: "CloudSystem") -> None:
         """Construct buffers and spawn the conventional proxy/network loops."""
         env = system.env
-        self.mailbox = Mailbox(env)
+        self.mailbox = Mailbox(env, on_drop=self._record_drop)
         self.send_queue = ByteBudgetQueue(env, system.platform.send_buffer_bytes)
         env.process(self.proxy_loop(system), name="proxy")
         env.process(self.network_loop(system), name="network")
+
+    def _record_drop(self, frame: "Frame") -> None:
+        """Annotate a buffer drop on the run's telemetry, if enabled."""
+        telemetry = self.system.telemetry if self.system is not None else None
+        if telemetry is not None and frame.dropped is not None:
+            telemetry.frame_dropped(frame, self.system.env.now, frame.dropped.value)
 
     # -- app-side hooks -------------------------------------------------------
 
@@ -103,12 +109,21 @@ class Regulator:
             frame = yield self.mailbox.get()
             yield from system.proxy.encode(frame)
             yield self.send_queue.put(frame)
+            if system.telemetry is not None:
+                self._publish_queue_depth(system)
 
     def network_loop(self, system: "CloudSystem"):
         """Serially transmit frames from the send queue."""
         while True:
             frame = yield self.send_queue.get()
+            if system.telemetry is not None:
+                self._publish_queue_depth(system)
             yield from system.network.transmit(frame)
+
+    def _publish_queue_depth(self, system: "CloudSystem") -> None:
+        """Publish send-queue occupancy gauges (telemetry already checked)."""
+        system.telemetry.queue_depth("send_queue", len(self.send_queue))
+        system.telemetry.queue_bytes("send_queue", self.send_queue.queued_bytes)
 
     # -- feedback hooks -----------------------------------------------------------
 

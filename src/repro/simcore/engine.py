@@ -343,13 +343,20 @@ class Environment:
     ----------
     initial_time:
         Starting value of :attr:`now` (default ``0.0``).
+    probe:
+        Optional engine observer (duck-typed like
+        :class:`repro.obs.probes.EngineProbe`) notified of scheduled
+        events, fired events, and started processes.  ``None`` (the
+        default) keeps the event loop's fast path free of observer
+        calls — each hook site is one ``is None`` branch.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, probe: Optional[Any] = None):
         self._now = float(initial_time)
         self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self._probe = probe
 
     @property
     def now(self) -> float:
@@ -361,12 +368,23 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def probe(self) -> Optional[Any]:
+        """The attached engine observer, if any."""
+        return self._probe
+
+    def set_probe(self, probe: Optional[Any]) -> None:
+        """Attach (or detach, with ``None``) the engine observer."""
+        self._probe = probe
+
     # -- scheduling ----------------------------------------------------
 
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Put ``event`` on the calendar ``delay`` time units from now."""
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if self._probe is not None:
+            self._probe.on_event_scheduled(self._now + delay, priority, len(self._queue))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -377,6 +395,8 @@ class Environment:
         if not self._queue:
             raise SimulationError("no more events")
         self._now, _, _, event = heapq.heappop(self._queue)
+        if self._probe is not None:
+            self._probe.on_event_fired(self._now, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -430,7 +450,10 @@ class Environment:
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from ``generator``."""
-        return Process(self, generator, name=name)
+        started = Process(self, generator, name=name)
+        if self._probe is not None:
+            self._probe.on_process_started(started.name)
+        return started
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Composite event that fires when all ``events`` have fired."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["IntervalTrace", "TraceRecord", "overlap_profile"]
 
@@ -32,36 +32,44 @@ class TraceRecord:
 
 
 class IntervalTrace:
-    """Accumulates per-stage busy intervals during a simulation run."""
+    """Accumulates per-stage busy intervals during a simulation run.
+
+    Records are kept both in global insertion order (for cross-stage
+    analyses like :func:`overlap_profile`) and indexed per stage, so
+    repeated per-stage queries — ``busy_time``/``utilization`` are
+    called once per stage per window by the hardware reports — cost
+    O(records of that stage) instead of O(all records).
+    """
 
     def __init__(self) -> None:
         self._records: List[TraceRecord] = []
+        self._by_stage: Dict[str, List[TraceRecord]] = {}
 
     def record(self, stage: str, start: float, end: float) -> None:
         """Record that ``stage`` was busy on ``[start, end)``."""
         if end < start:
             raise ValueError(f"interval ends before it starts: {start}..{end}")
         if end > start:
-            self._records.append(TraceRecord(stage, start, end))
+            rec = TraceRecord(stage, start, end)
+            self._records.append(rec)
+            self._by_stage.setdefault(stage, []).append(rec)
 
     def __len__(self) -> int:
         return len(self._records)
 
-    def records(self, stage: str = None) -> List[TraceRecord]:
+    def records(self, stage: Optional[str] = None) -> List[TraceRecord]:
         """All records, optionally filtered by stage name."""
         if stage is None:
             return list(self._records)
-        return [r for r in self._records if r.stage == stage]
+        return list(self._by_stage.get(stage, ()))
 
     def stages(self) -> List[str]:
-        return sorted({r.stage for r in self._records})
+        return sorted(self._by_stage)
 
     def busy_time(self, stage: str, start: float = 0.0, end: float = float("inf")) -> float:
         """Total busy time of ``stage`` clipped to ``[start, end)``."""
         total = 0.0
-        for r in self._records:
-            if r.stage != stage:
-                continue
+        for r in self._by_stage.get(stage, ()):
             lo = max(r.start, start)
             hi = min(r.end, end)
             if hi > lo:

@@ -1,0 +1,117 @@
+"""Telemetry overhead guard: disabled telemetry must stay within 5%.
+
+Two complementary checks:
+
+* a pytest-benchmark case timing the standard 20 s run with telemetry
+  disabled (the configuration every experiment uses by default), kept
+  for ``--benchmark-compare`` workflows across revisions;
+* a self-contained A/B guard comparing the current engine (probe hooks
+  compiled in, ``probe=None``) against a baseline environment whose
+  ``schedule``/``step``/``process`` replicate the pre-telemetry bodies
+  with no probe branch at all.  This is the acceptance gate: the probe
+  branches on the disabled path must cost <5%.
+"""
+
+import heapq
+import time
+
+import pytest
+
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.regulators import make_regulator
+from repro.simcore import Environment
+from repro.simcore.engine import NORMAL
+from repro.workloads import PLATFORMS, Resolution
+
+OVERHEAD_LIMIT = 1.05
+
+
+def standard_config(duration_ms=20_000.0):
+    return SystemConfig(
+        benchmark="IM",
+        platform=PLATFORMS["private"],
+        resolution=Resolution("720p"),
+        seed=7,
+        duration_ms=duration_ms,
+        warmup_ms=2_000.0,
+    )
+
+
+def run_disabled():
+    return CloudSystem(standard_config(), make_regulator("ODR60")).run()
+
+
+class BaselineEnvironment(Environment):
+    """Pre-telemetry hot path: schedule/step/process without probe branches."""
+
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self):
+        if not self._queue:
+            raise RuntimeError("no more events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(repr(exc))
+
+    def process(self, generator, name=""):
+        from repro.simcore.engine import Process
+
+        return Process(self, generator, name=name)
+
+
+def churn(env, events):
+    for _ in range(events):
+        yield env.timeout(0.25)
+
+
+def drive(env_cls, events=60_000):
+    env = env_cls()
+    env.process(churn(env, events))
+    start = time.perf_counter()
+    env.run()
+    return time.perf_counter() - start
+
+
+def best_of(fn, rounds=5):
+    return min(fn() for _ in range(rounds))
+
+
+def test_standard_run_benchmark_telemetry_disabled(benchmark):
+    result = benchmark.pedantic(run_disabled, rounds=3, warmup_rounds=1)
+    assert result.client_fps > 0
+    assert result.telemetry() is None
+
+
+def test_disabled_probe_overhead_under_five_percent():
+    # min-of-N timings on an event-churn microbenchmark, which maximizes
+    # the relative weight of the schedule/step hot path (a full pipeline
+    # run would only dilute any regression).  Retry to ride out noise.
+    drive(Environment, events=5_000)  # warm both paths
+    drive(BaselineEnvironment, events=5_000)
+    for attempt in range(3):
+        baseline = best_of(lambda: drive(BaselineEnvironment))
+        current = best_of(lambda: drive(Environment))
+        ratio = current / baseline
+        if ratio < OVERHEAD_LIMIT:
+            return
+    pytest.fail(
+        f"disabled-telemetry engine is {ratio:.3f}x the pre-telemetry "
+        f"baseline (limit {OVERHEAD_LIMIT}x)"
+    )
+
+
+def test_disabled_pipeline_run_matches_baseline_results():
+    # Telemetry-off runs must be numerically identical to the seed
+    # behaviour: the hooks may observe, never perturb.
+    a = run_disabled()
+    b = CloudSystem(standard_config(), make_regulator("ODR60")).run()
+    assert a.client_fps == b.client_fps
+    assert a.render_fps == b.render_fps

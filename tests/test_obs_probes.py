@@ -1,0 +1,105 @@
+"""Engine probes: opt-in introspection, zero-overhead when disabled."""
+
+from repro.obs import EngineProbe, Telemetry
+from repro.simcore import Environment
+
+
+def drip(env, n, step=1.0):
+    for _ in range(n):
+        yield env.timeout(step)
+
+
+class TestEngineProbe:
+    def test_counts_scheduled_and_fired_events(self):
+        probe = EngineProbe()
+        env = Environment(probe=probe)
+        env.process(drip(env, 5))
+        env.run()
+        assert probe.events_fired == probe.events_scheduled > 5
+        assert probe.pending_events == 0
+        assert probe.max_heap_depth >= 1
+
+    def test_counts_processes_by_name(self):
+        probe = EngineProbe()
+        env = Environment(probe=probe)
+        env.process(drip(env, 1), name="app")
+        env.process(drip(env, 1), name="app")
+        env.process(drip(env, 1), name="client")
+        env.run()
+        assert probe.processes_started == 3
+        assert probe.process_names == {"app": 2, "client": 1}
+
+    def test_wall_clock_per_simulated_second(self):
+        # Inject a fake clock so the sampling is deterministic.
+        ticks = iter(x * 0.01 for x in range(1000))
+        probe = EngineProbe(wallclock=lambda: next(ticks))
+        env = Environment(probe=probe)
+        env.process(drip(env, 50, step=100.0))  # crosses 5 sim-second marks
+        env.run()
+        assert len(probe.wall_per_sim_second) >= 4
+        mean = probe.mean_wall_per_sim_second()
+        assert mean is not None and mean > 0
+
+    def test_summary_is_flat_and_json_safe(self):
+        import json
+
+        probe = EngineProbe()
+        env = Environment(probe=probe)
+        env.process(drip(env, 3))
+        env.run()
+        summary = json.loads(json.dumps(probe.summary()))
+        assert summary["events_fired"] == probe.events_fired
+        assert summary["processes_started"] == 1
+
+    def test_set_probe_mid_run(self):
+        env = Environment()
+        env.process(drip(env, 2))
+        env.run(until=1.5)
+        probe = EngineProbe()
+        env.set_probe(probe)
+        env.run()
+        assert probe.events_fired > 0
+        assert env.probe is probe
+
+
+class TestDisabledZeroOverheadPath:
+    def test_environment_defaults_to_no_probe(self):
+        env = Environment()
+        assert env.probe is None
+
+    def test_disabled_engine_never_touches_a_probe(self):
+        # A probe whose hooks all raise: if the engine consulted it on
+        # the disabled path, the run would explode.
+        class Landmine:
+            def __getattr__(self, name):
+                raise AssertionError(f"probe hook {name} called while disabled")
+
+        env = Environment(probe=None)
+        env.process(drip(env, 10))
+        env.run()  # fine: no probe attached
+
+        env2 = Environment(probe=Landmine())
+        env2.set_probe(None)  # detached again before any event
+        env2.process(drip(env2, 10))
+        env2.run()
+
+    def test_telemetry_without_probe_flag_has_none(self):
+        assert Telemetry().probe is None
+        assert Telemetry(engine_probe=True).probe is not None
+
+    def test_disabled_run_produces_identical_schedule(self):
+        # The probe must be observation-only: with and without one, the
+        # event timeline is identical.
+        def workload(env, log):
+            for i in range(20):
+                yield env.timeout(1.5)
+                log.append(env.now)
+
+        log_a, log_b = [], []
+        env_a = Environment()
+        env_a.process(workload(env_a, log_a))
+        env_a.run()
+        env_b = Environment(probe=EngineProbe())
+        env_b.process(workload(env_b, log_b))
+        env_b.run()
+        assert log_a == log_b

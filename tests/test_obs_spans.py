@@ -1,0 +1,133 @@
+"""Span lifecycle: open → stage intervals → close (display or drop)."""
+
+import pytest
+
+from repro.obs import SpanStore, Telemetry
+from repro.pipeline.frames import Frame
+
+
+def make_frame(frame_id=1, **kwargs):
+    return Frame(frame_id=frame_id, **kwargs)
+
+
+class TestSpanStore:
+    def test_open_stage_close_lifecycle(self):
+        store = SpanStore()
+        span = store.open(1, at=10.0, gate_delay_ms=2.0)
+        assert span.open and not span.displayed and not span.dropped
+        store.stage(1, "render", 10.0, 15.0)
+        store.stage(1, "copy", 15.0, 16.0)
+        store.close(1, at=30.0)
+        assert span.displayed
+        assert span.closed_at == 30.0
+        assert span.stages() == ["render", "copy"]
+        assert span.stage_ms("render") == pytest.approx(5.0)
+        assert span.total_ms() == pytest.approx(20.0)
+
+    def test_drop_closes_span_with_reason(self):
+        store = SpanStore()
+        span = store.open(7, at=0.0)
+        store.stage(7, "render", 0.0, 4.0)
+        store.drop(7, at=5.0, reason="mailbox_overwrite")
+        assert span.dropped and not span.displayed
+        assert span.drop_reason == "mailbox_overwrite"
+        assert span.closed_at == 5.0
+
+    def test_close_after_drop_keeps_drop(self):
+        store = SpanStore()
+        span = store.open(1, at=0.0)
+        store.drop(1, at=3.0, reason="obsolete_flush")
+        store.close(1, at=9.0)
+        assert span.drop_reason == "obsolete_flush"
+        assert span.closed_at == 3.0
+
+    def test_double_open_same_frame_raises(self):
+        store = SpanStore()
+        store.open(1, at=0.0)
+        with pytest.raises(ValueError):
+            store.open(1, at=1.0)
+
+    def test_same_frame_id_different_sessions_coexist(self):
+        store = SpanStore()
+        a = store.open(1, at=0.0, session="s0")
+        b = store.open(1, at=0.0, session="s1")
+        store.drop(1, at=2.0, reason="x", session="s1")
+        assert not a.dropped and b.dropped
+        assert store.get(1, session="s0") is a
+        assert store.sessions() == ["s0", "s1"]
+
+    def test_unknown_frame_events_ignored(self):
+        store = SpanStore()
+        store.stage(99, "render", 0.0, 1.0)
+        store.drop(99, at=1.0, reason="x")
+        store.close(99, at=1.0)
+        assert len(store) == 0
+
+    def test_spans_filtering(self):
+        store = SpanStore()
+        store.open(1, at=0.0)
+        store.open(2, at=1.0)
+        store.drop(2, at=2.0, reason="x")
+        assert [s.frame_id for s in store.spans(dropped=True)] == [2]
+        assert [s.frame_id for s in store.spans(dropped=False)] == [1]
+        assert [s.frame_id for s in store.spans()] == [1, 2]
+
+    def test_queue_wait_is_inter_stage_gap(self):
+        store = SpanStore()
+        span = store.open(1, at=0.0)
+        store.stage(1, "render", 0.0, 5.0)
+        store.stage(1, "encode", 8.0, 10.0)  # 3 ms in the mailbox
+        store.stage(1, "transmit", 10.0, 12.0)  # back-to-back
+        assert span.queue_wait_ms() == pytest.approx(3.0)
+
+    def test_open_interval_has_no_duration(self):
+        from repro.obs import StageInterval
+
+        iv = StageInterval("render", 1.0)
+        assert not iv.closed
+        with pytest.raises(ValueError):
+            _ = iv.duration_ms
+
+
+class TestTelemetrySpanHooks:
+    def test_frame_opened_records_gate_delay(self):
+        tel = Telemetry()
+        frame = make_frame(1, priority=True, triggered_by_input=True)
+        tel.frame_opened(frame, at=12.0, gate_delay_ms=4.0)
+        span = tel.spans.get(1)
+        assert span.gate_delay_ms == 4.0
+        assert span.priority and span.input_triggered
+        stats = tel.snapshot().histogram_stats("gate_delay_ms")
+        assert stats.count == 1 and stats.max == 4.0
+
+    def test_dropped_frame_closes_span_with_reason(self):
+        tel = Telemetry()
+        frame = make_frame(3)
+        tel.frame_opened(frame, at=0.0)
+        tel.stage_complete(frame, "render", 0.0, 5.0)
+        tel.frame_dropped(frame, at=6.0, reason="mailbox_overwrite")
+        span = tel.spans.get(3)
+        assert span.drop_reason == "mailbox_overwrite"
+        snap = tel.snapshot()
+        assert snap.counter_value("frames_dropped_total", reason="mailbox_overwrite") == 1
+
+    def test_displayed_frame_records_pipeline_latency(self):
+        tel = Telemetry()
+        frame = make_frame(2)
+        tel.frame_opened(frame, at=10.0)
+        tel.frame_displayed(frame, at=45.0)
+        stats = tel.snapshot().histogram_stats("frame_pipeline_ms")
+        assert stats.count == 1
+        assert stats.max == pytest.approx(35.0)
+
+    def test_session_view_labels_spans_and_metrics(self):
+        root = Telemetry()
+        s0 = root.for_session("s0")
+        s1 = root.for_session("s1")
+        s0.frame_opened(make_frame(1), at=0.0)
+        s1.frame_opened(make_frame(1), at=0.0)
+        assert root.spans.sessions() == ["s0", "s1"]
+        snap = root.snapshot()
+        assert snap.counter_value("frames_created_total", session="s0") == 1
+        assert snap.counter_value("frames_created_total", session="s1") == 1
+        assert snap.counter_value("frames_created_total") == 0

@@ -6,7 +6,6 @@ never diverge.  These catch ordering/bookkeeping bugs that example-based
 tests miss.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,

@@ -5,7 +5,6 @@ import pytest
 from repro.simcore import (
     AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
 )

@@ -6,7 +6,6 @@ from repro.simcore import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
 )

@@ -48,6 +48,28 @@ class TestIntervalTrace:
         trace.record("net", 2, 9)
         assert trace.records()[0].duration == 7
 
+    def test_records_preserve_global_insertion_order(self):
+        trace = IntervalTrace()
+        trace.record("b", 0, 1)
+        trace.record("a", 1, 2)
+        trace.record("b", 2, 3)
+        assert [(r.stage, r.start) for r in trace.records()] == [
+            ("b", 0), ("a", 1), ("b", 2)
+        ]
+        assert [r.start for r in trace.records("b")] == [0, 2]
+
+    def test_per_stage_queries_match_linear_scan(self):
+        trace = IntervalTrace()
+        for i in range(50):
+            trace.record(f"stage{i % 5}", i, i + 0.5)
+        for stage in trace.stages():
+            expected = sum(
+                r.duration for r in trace.records() if r.stage == stage
+            )
+            assert trace.busy_time(stage) == pytest.approx(expected)
+        assert trace.busy_time("absent") == 0.0
+        assert trace.records("absent") == []
+
 
 class TestOverlapProfile:
     def test_disjoint_intervals_never_overlap(self):
@@ -96,6 +118,62 @@ class TestOverlapProfile:
         with pytest.raises(ValueError):
             overlap_profile(IntervalTrace(), ["a"], 5, 5)
 
+    def test_interval_straddling_window_start_is_clipped(self):
+        trace = IntervalTrace()
+        trace.record("a", -5, 5)
+        profile = overlap_profile(trace, ["a"], 0, 10)
+        assert profile[1] == pytest.approx(0.5)
+        assert profile[0] == pytest.approx(0.5)
+
+    def test_interval_straddling_window_end_is_clipped(self):
+        trace = IntervalTrace()
+        trace.record("a", 8, 15)
+        profile = overlap_profile(trace, ["a"], 0, 10)
+        assert profile[1] == pytest.approx(0.2)
+
+    def test_interval_spanning_whole_window(self):
+        trace = IntervalTrace()
+        trace.record("a", -10, 20)
+        profile = overlap_profile(trace, ["a"], 0, 10)
+        assert profile[1] == pytest.approx(1.0)
+        assert profile[0] == pytest.approx(0.0)
+
+    def test_interval_clipped_to_zero_length_contributes_nothing(self):
+        # Entirely outside [start, end): clips to an empty interval.
+        trace = IntervalTrace()
+        trace.record("a", 10, 20)
+        trace.record("b", -5, 0)  # touches the boundary exactly
+        profile = overlap_profile(trace, ["a", "b"], 0, 10)
+        assert profile[0] == pytest.approx(1.0)
+        assert profile[1] == pytest.approx(0.0)
+
+    def test_unsorted_record_times_handled(self):
+        # Records arriving out of chronological order must not corrupt
+        # the sweep (deltas are sorted internally).
+        trace = IntervalTrace()
+        trace.record("a", 6, 9)
+        trace.record("b", 1, 4)
+        trace.record("a", 3, 7)
+        profile = overlap_profile(trace, ["a", "b"], 0, 10)
+        # busy levels: [0,1)=0, [1,3)=1, [3,4)=2, [4,6)=1, [6,7)=2, [7,9)=1, [9,10)=0
+        assert profile[0] == pytest.approx(0.2)
+        assert profile[1] == pytest.approx(0.6)
+        assert profile[2] == pytest.approx(0.2)
+
+    def test_level_clamped_when_one_stage_self_overlaps(self):
+        # Two records of the SAME stage overlapping push the sweep level
+        # past len(stages); the profile clamps to the top bucket.
+        trace = IntervalTrace()
+        trace.record("a", 0, 10)
+        trace.record("a", 0, 10)
+        profile = overlap_profile(trace, ["a"], 0, 10)
+        assert profile[1] == pytest.approx(1.0)
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_profile_keys_cover_zero_to_len_stages(self):
+        profile = overlap_profile(IntervalTrace(), ["a", "b", "c"], 0, 10)
+        assert sorted(profile) == [0, 1, 2, 3]
+
     @given(
         intervals=st.lists(
             st.tuples(
@@ -136,3 +214,22 @@ class TestWindowedCounts:
     def test_bad_window_raises(self):
         with pytest.raises(ValueError):
             windowed_counts([1], window=0, start=0, end=1)
+
+    def test_unsorted_input_times(self):
+        times = [2.5, 0.5, 1.6, 1.5]
+        assert windowed_counts(times, window=1.0, start=0, end=3) == [1, 2, 1]
+
+    def test_event_on_window_boundary_counts_in_later_window(self):
+        # Buckets are [lo, hi): an event at exactly t=1.0 belongs to the
+        # second window, and one at exactly end is excluded.
+        times = [1.0, 2.0]
+        assert windowed_counts(times, window=1.0, start=0, end=2) == [0, 1]
+
+    def test_event_at_start_boundary_included(self):
+        assert windowed_counts([0.0], window=1.0, start=0, end=1) == [1]
+
+    def test_window_larger_than_range_gives_no_windows(self):
+        assert windowed_counts([0.5], window=5.0, start=0, end=3) == []
+
+    def test_negative_range_empty(self):
+        assert windowed_counts([1], window=1.0, start=5, end=3) == []
