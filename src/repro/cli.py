@@ -13,6 +13,10 @@ Subcommands::
     consolidate multi-tenant sessions-per-server sweep
     breakdown   decompose MtP latency by pipeline component
     list        list benchmarks, platforms, and configuration labels
+    lint        run the simlint determinism/DES-correctness static analysis
+    verify-determinism
+                run one scenario twice under the same seed and compare
+                schedule fingerprints
 """
 
 from __future__ import annotations
@@ -129,6 +133,38 @@ def _build_parser() -> argparse.ArgumentParser:
     breakdown.add_argument(
         "--resolution", choices=[r.value for r in Resolution], default="720p"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="simlint: determinism & DES-correctness static analysis",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+        help="output format",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (e.g. R1,R2); default: all",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+    verify = sub.add_parser(
+        "verify-determinism",
+        help="run a scenario twice under one seed; fail if schedules diverge",
+    )
+    verify.add_argument("--benchmark", choices=sorted(BENCHMARKS), default="IM")
+    verify.add_argument("--regulator", default="ODR60")
+    verify.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    verify.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
     return parser
 
 
@@ -216,6 +252,48 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.simlint import RULES, lint_paths
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        report = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        counts = ", ".join(f"{r}: {n}" for r, n in sorted(report.counts().items()))
+        print(
+            f"simlint: {len(report.findings)} finding(s) in "
+            f"{report.files_scanned} file(s)" + (f"  [{counts}]" if counts else "")
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_verify_determinism(args: argparse.Namespace) -> int:
+    from repro.devtools.determinism import verify_determinism
+
+    report = verify_determinism(
+        seed=args.seed,
+        benchmark=args.benchmark,
+        regulator=args.regulator,
+        platform=args.platform,
+        resolution=args.resolution,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
     from repro.experiments import figures
 
@@ -237,6 +315,10 @@ def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "verify-determinism":
+        return _cmd_verify_determinism(args)
     runner = Runner(seed=args.seed, duration_ms=args.duration, warmup_ms=args.warmup)
 
     if args.command == "run":

@@ -16,13 +16,13 @@ buffer-swap speed instead of round-trip speed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.priorityframe import PriorityFrameController
 from repro.core.regulator import FpsRegulatorClock
 from repro.pipeline.buffers import MultiBuffer
 from repro.regulators.base import Regulator
-from repro.simcore import Interrupt
+from repro.simcore import Interrupt, Process, ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.app import Application3D
@@ -43,7 +43,7 @@ class OnDemandRendering(Regulator):
         accelerate: bool = True,
         debt_window_ms: float = 200.0,
         pacing_margin: float = 0.0,
-    ):
+    ) -> None:
         super().__init__()
         self.fps_target = target_fps
         self.clock = FpsRegulatorClock(
@@ -56,7 +56,7 @@ class OnDemandRendering(Regulator):
             PriorityFrameController(self) if priority_frames else None
         )
         base = f"ODR{target_fps:g}" if target_fps else "ODRMax"
-        suffixes = []
+        suffixes: List[str] = []
         if not priority_frames:
             suffixes.append("noPri")
         if not accelerate:
@@ -64,7 +64,7 @@ class OnDemandRendering(Regulator):
         self.name = base + "".join(f"-{s}" for s in suffixes)
         self.mulbuf1: Optional[MultiBuffer] = None
         self.mulbuf2: Optional[MultiBuffer] = None
-        self._pacing_process = None
+        self._pacing_process: Optional[Process] = None
 
     # -- wiring ------------------------------------------------------------
 
@@ -77,16 +77,17 @@ class OnDemandRendering(Regulator):
 
     # -- app-side hooks -------------------------------------------------------
 
-    def app_wait(self, app: "Application3D"):
+    def app_wait(self, app: "Application3D") -> ProcessGenerator:
         """Pause rendering until Mul-Buf1's back buffer is free.
 
         A PriorityFrame flush empties the back buffer, so an armed input
         implicitly cancels this wait — the gate opens immediately.
         """
+        assert self.mulbuf1 is not None, "build() must run before app_wait()"
         while self.mulbuf1.back_occupied:
             yield self.mulbuf1.back_free()
 
-    def app_submit(self, app: "Application3D", frame: "Frame"):
+    def app_submit(self, app: "Application3D", frame: "Frame") -> ProcessGenerator:
         """Deposit the rendered frame into Mul-Buf1's back buffer.
 
         Only frames already *sitting in buffers* are flushed as obsolete
@@ -94,12 +95,14 @@ class OnDemandRendering(Regulator):
         is submitted normally — it is the newest world state available
         and "not every priority frame causes frame drop".
         """
+        assert self.mulbuf1 is not None, "build() must run before app_submit()"
         yield from self.mulbuf1.put_when_free(frame)
 
     # -- proxy loop: Algorithm 1 -------------------------------------------------
 
-    def proxy_loop(self, system: "CloudSystem"):
+    def proxy_loop(self, system: "CloudSystem") -> ProcessGenerator:
         """Encode from Mul-Buf1, store to Mul-Buf2, pace via acc_delay."""
+        assert self.mulbuf1 is not None and self.mulbuf2 is not None
         env = system.env
         while True:
             start = env.now
@@ -157,8 +160,9 @@ class OnDemandRendering(Regulator):
 
     # -- network loop -----------------------------------------------------------
 
-    def network_loop(self, system: "CloudSystem"):
+    def network_loop(self, system: "CloudSystem") -> ProcessGenerator:
         """Transmit from Mul-Buf2's front buffer, swapping when done."""
+        assert self.mulbuf2 is not None, "build() must run before network_loop()"
         while True:
             yield from self.mulbuf2.swap_when_ready()
             frame = self.mulbuf2.take_front()

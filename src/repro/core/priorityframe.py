@@ -38,7 +38,7 @@ __all__ = ["PriorityFrameController"]
 class PriorityFrameController:
     """Reacts to discrete inputs on behalf of an ODR regulator."""
 
-    def __init__(self, odr: "OnDemandRendering"):
+    def __init__(self, odr: "OnDemandRendering") -> None:
         self.odr = odr
         self.inputs_seen = 0
         self.frames_flushed = 0
@@ -54,6 +54,8 @@ class PriorityFrameController:
         # back buffer and the unsent encoded frame in Mul-Buf2's.
         telemetry = app.system.telemetry
         for buf in (self.odr.mulbuf1, self.odr.mulbuf2):
+            if buf is None:
+                continue
             dropped = buf.flush_back()
             if dropped is not None:
                 self.frames_flushed += 1

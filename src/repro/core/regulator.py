@@ -62,7 +62,7 @@ class FpsRegulatorClock:
         accelerate: bool = True,
         debt_window_ms: float = 200.0,
         pacing_margin: float = 0.0,
-    ):
+    ) -> None:
         if target_fps is not None and target_fps <= 0:
             raise ValueError("target_fps must be positive")
         if debt_window_ms < 0:

@@ -1,0 +1,47 @@
+"""Developer tooling guarding the repository's reproducibility contract.
+
+Two complementary halves:
+
+:mod:`repro.devtools.simlint`
+    Static analysis — eight AST rules (R1-R8) enforcing the determinism
+    and DES-correctness conventions (seeded randomness only, no wall
+    clock in sim paths, no mutable defaults, ordered iteration, real
+    generators for engine processes, epsilon time comparisons, no
+    module-level mutable state, annotated public simcore/core API).
+
+:mod:`repro.devtools.determinism`
+    Runtime verification — run a small scenario twice under the same
+    seed, SHA-256 the full event schedule + frame spans, and fail on
+    divergence.
+
+Both are wired into the CLI (``odr-sim lint``,
+``odr-sim verify-determinism``) and CI; see docs/STATIC_ANALYSIS.md.
+"""
+
+from repro.devtools.determinism import (
+    DeterminismReport,
+    RunFingerprint,
+    ScheduleRecorder,
+    fingerprint_run,
+    verify_determinism,
+)
+from repro.devtools.simlint import (
+    RULES,
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "DeterminismReport",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "RunFingerprint",
+    "ScheduleRecorder",
+    "fingerprint_run",
+    "lint_paths",
+    "lint_source",
+    "verify_determinism",
+]

@@ -1,0 +1,668 @@
+"""``simlint`` — static analysis for discrete-event-simulation correctness.
+
+The evaluation in this repository (FPS gaps, regulation latency, energy
+deltas) is only reproducible because a simulation run is a bit-for-bit
+pure function of ``(configuration, seed)``.  That property is easy to
+break silently: one stray ``random.random()``, one wall-clock read in a
+sim-path module, one iteration over an unordered set that feeds event
+scheduling.  ``simlint`` turns the determinism conventions of this
+codebase into machine-checked rules.
+
+Rules
+-----
+R1
+    No direct ``random`` / ``numpy.random`` use outside
+    ``repro.simcore.rng``.  All randomness must flow through the seeded
+    :class:`~repro.simcore.rng.RngRegistry` /
+    :class:`~repro.simcore.rng.SeededRng` streams.
+R2
+    No wall-clock reads (``time.time``, ``time.perf_counter``,
+    ``datetime.now``, ...) in sim-path modules.  The one sanctioned
+    real-clock site is ``repro.obs.probes`` (allowlisted), which
+    measures host wall time *about* the simulation, never *inside* it.
+R3
+    No mutable default arguments (shared across calls — and across
+    simulation runs in the same process, breaking run independence).
+R4
+    No iteration over set expressions.  Python set order is governed by
+    hash seeding and insertion history; an event scheduled from inside
+    a set loop makes the calendar order depend on it.
+R5
+    A generator registered with the engine (``env.process(f(...))``)
+    must actually contain a ``yield`` — a plain function silently
+    becomes a no-op process (``TypeError`` at runtime at best).
+R6
+    No ``==`` / ``!=`` on float simulation timestamps; use
+    ``math.isclose`` or an explicit epsilon.  Two code paths computing
+    "the same" time can differ in the last ulp.
+R7
+    No module-level mutable state in ``repro.pipeline`` /
+    ``repro.regulators`` / ``repro.core`` — state shared between runs in
+    one process breaks run-to-run independence (``__all__`` exempt).
+R8
+    Every public function in ``repro.simcore`` / ``repro.core`` must be
+    fully type-annotated (checked structurally; ``mypy --strict``
+    enforces the semantics in CI).
+
+Suppressions
+------------
+Append ``# simlint: disable=R4`` (comma-separate for several rules) to
+the offending line, with a short justification::
+
+    for item in locked_set:  # simlint: disable=R4 -- order irrelevant, result is summed
+
+Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
+CLI: ``odr-sim lint src/repro [--format json] [--select R1,R2]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Rule id -> one-line summary (the CLI's ``--list-rules`` output).
+RULES: Dict[str, str] = {
+    "R1": "direct random/numpy.random use outside repro.simcore.rng",
+    "R2": "wall-clock read in a sim-path module",
+    "R3": "mutable default argument",
+    "R4": "iteration over an unordered set expression",
+    "R5": "non-generator registered as an engine process",
+    "R6": "==/!= comparison of float simulation timestamps",
+    "R7": "module-level mutable state in pipeline/regulators/core",
+    "R8": "public simcore/core function not fully type-annotated",
+}
+
+#: Modules allowed to touch ``random`` / ``numpy.random`` directly (R1).
+R1_ALLOWLIST = frozenset({"repro.simcore.rng"})
+
+#: Modules allowed to read the host wall clock (R2).  ``repro.obs.probes``
+#: measures wall-clock-per-simulated-second intentionally; the reading is
+#: observational and never feeds back into event scheduling.
+R2_ALLOWLIST = frozenset({"repro.obs.probes"})
+
+#: Packages in which module-level mutable state is forbidden (R7).
+R7_PACKAGES = ("repro.pipeline", "repro.regulators", "repro.core")
+
+#: Packages whose public functions must be fully annotated (R8).
+R8_PACKAGES = ("repro.simcore", "repro.core")
+
+_CLOCK_ATTRS_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_CLOCK_ATTRS_DATETIME = frozenset({"now", "utcnow", "today"})
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict", "bytearray"}
+)
+
+#: Name/attribute patterns that denote a float simulation timestamp (R6).
+_TIMESTAMP_RE = re.compile(r"(^now$|^t_|_ms$|_time$|_at$|timestamp)")
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+?)(?:\s*(?:--|#)|$)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Aggregate result of one lint invocation."""
+
+    findings: Tuple[Finding, ...]
+    files_scanned: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "files_scanned": self.files_scanned,
+                "counts": self.counts(),
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
+            suppressed[lineno] = rules
+    return suppressed
+
+
+def _module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at the ``repro`` package."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or ["repro"]
+    return ".".join(parts)
+
+
+def _function_is_generator(node: ast.AST) -> bool:
+    """True if the function's own body (not nested defs) contains a yield."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if _function_is_generator(child):
+            return True
+    return False
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # Union/intersection/difference of set expressions.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _looks_like_timestamp(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_TIMESTAMP_RE.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_TIMESTAMP_RE.search(node.attr))
+    return False
+
+
+def _annotation_gaps(node: ast.FunctionDef) -> List[str]:
+    """Names of the parameters (plus 'return') lacking annotations."""
+    gaps: List[str] = []
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            gaps.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        gaps.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        gaps.append("**" + args.kwarg.arg)
+    if node.returns is None:
+        gaps.append("return")
+    return gaps
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass AST walk applying every selected rule to one module."""
+
+    def __init__(self, module: str, path: str, select: Set[str]):
+        self.module = module
+        self.path = path
+        self.select = select
+        self.findings: List[Finding] = []
+        #: Import aliases: local name -> canonical dotted module name.
+        self.aliases: Dict[str, str] = {}
+        #: Names imported via ``from X import y`` -> "X.y".
+        self.from_imports: Dict[str, str] = {}
+        #: (class-qualified and bare) function name -> is-generator.
+        self.generators: Dict[str, bool] = {}
+        self._class_stack: List[str] = []
+        self._func_depth = 0
+        #: Deferred R5 checks: (callee key candidates, line, col).
+        self._process_calls: List[Tuple[List[str], int, int]] = []
+
+    # -- plumbing --------------------------------------------------------
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule not in self.select:
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    def _in_package(self, packages: Iterable[str]) -> bool:
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".") for pkg in packages
+        )
+
+    # -- imports (R1 / R2 bookkeeping and findings) ----------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.aliases[local] = alias.name
+            if alias.name.split(".")[0] == "random" and self.module not in R1_ALLOWLIST:
+                self.report(
+                    "R1",
+                    node,
+                    "import of 'random': draw from the seeded RngRegistry "
+                    "(repro.simcore.rng) instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.from_imports[local] = f"{mod}.{alias.name}"
+        if self.module not in R1_ALLOWLIST:
+            if mod == "random" or mod.startswith("random."):
+                self.report(
+                    "R1",
+                    node,
+                    f"import from 'random' ({', '.join(a.name for a in node.names)}): "
+                    "draw from the seeded RngRegistry instead",
+                )
+            if mod == "numpy.random" or mod.startswith("numpy.random.") or (
+                mod == "numpy" and any(a.name == "random" for a in node.names)
+            ):
+                self.report(
+                    "R1",
+                    node,
+                    "import of numpy.random: draw from the seeded RngRegistry instead",
+                )
+        if self.module not in R2_ALLOWLIST:
+            if mod == "time":
+                clocks = [a.name for a in node.names if a.name in _CLOCK_ATTRS_TIME]
+                if clocks:
+                    self.report(
+                        "R2",
+                        node,
+                        f"wall-clock import from 'time' ({', '.join(clocks)}): "
+                        "sim code must use Environment.now",
+                    )
+        self.generic_visit(node)
+
+    # -- attribute / call uses (R1, R2) ----------------------------------
+
+    def _resolves_to(self, node: ast.expr, canonical: str) -> bool:
+        """Does ``node`` (Name/Attribute chain) denote module ``canonical``?"""
+        if isinstance(node, ast.Name):
+            return (
+                self.aliases.get(node.id) == canonical
+                or self.from_imports.get(node.id) == canonical
+            )
+        if isinstance(node, ast.Attribute):
+            prefix, _, last = canonical.rpartition(".")
+            return node.attr == last and self._resolves_to(node.value, prefix)
+        return False
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.module not in R1_ALLOWLIST and node.attr == "random":
+            if self._resolves_to(node.value, "numpy"):
+                self.report(
+                    "R1",
+                    node,
+                    "direct numpy.random access: draw from the seeded "
+                    "RngRegistry (repro.simcore.rng) instead",
+                )
+        if self.module not in R2_ALLOWLIST:
+            if node.attr in _CLOCK_ATTRS_TIME and self._resolves_to(node.value, "time"):
+                self.report(
+                    "R2",
+                    node,
+                    f"wall-clock read time.{node.attr}: simulation code must "
+                    "use Environment.now (sim time), not host time",
+                )
+            elif node.attr in _CLOCK_ATTRS_DATETIME and (
+                self._resolves_to(node.value, "datetime")
+                or self._resolves_to(node.value, "datetime.datetime")
+                or self._resolves_to(node.value, "datetime.date")
+            ):
+                self.report(
+                    "R2",
+                    node,
+                    f"wall-clock read datetime...{node.attr}(): simulation "
+                    "code must use Environment.now",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # R1: calling a default_rng imported from numpy.random.
+        if (
+            self.module not in R1_ALLOWLIST
+            and isinstance(node.func, ast.Name)
+            and self.from_imports.get(node.func.id, "").endswith("random.default_rng")
+        ):
+            self.report(
+                "R1",
+                node,
+                "default_rng(): construct streams via the seeded RngRegistry instead",
+            )
+        # R2: calling a clock imported via ``from time import ...``.
+        if (
+            self.module not in R2_ALLOWLIST
+            and isinstance(node.func, ast.Name)
+            and self.from_imports.get(node.func.id, "").startswith("time.")
+            and self.from_imports[node.func.id].split(".", 1)[1] in _CLOCK_ATTRS_TIME
+        ):
+            self.report(
+                "R2",
+                node,
+                f"wall-clock call {node.func.id}(): simulation code must use "
+                "Environment.now",
+            )
+        # R5: <env>.process(generator_call(...), ...).
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "process"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+        ):
+            inner = node.args[0].func
+            candidates: List[str] = []
+            if isinstance(inner, ast.Name):
+                candidates = [inner.id]
+            elif isinstance(inner, ast.Attribute) and isinstance(inner.value, ast.Name):
+                if inner.value.id == "self" and self._class_stack:
+                    candidates = [f"{self._class_stack[-1]}.{inner.attr}", inner.attr]
+                else:
+                    candidates = [inner.attr]
+            if candidates:
+                self._process_calls.append(
+                    (candidates, node.lineno, node.col_offset + 1)
+                )
+        self.generic_visit(node)
+
+    # -- functions (R3, R8 + generator table for R5) ---------------------
+
+    def _visit_function(self, node: ast.FunctionDef) -> None:
+        qualname = (
+            f"{self._class_stack[-1]}.{node.name}" if self._class_stack else node.name
+        )
+        is_gen = _function_is_generator(node)
+        self.generators[qualname] = is_gen
+        # Bare-name fallback: only overwrite a generator marker with
+        # another generator (mixed homonyms stay permissive).
+        if node.name not in self.generators or not self.generators[node.name]:
+            self.generators[node.name] = is_gen
+
+        # R3: mutable defaults.
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_literal(default):
+                self.report(
+                    "R3",
+                    default,
+                    f"mutable default argument in {node.name}(): shared across "
+                    "calls and across simulation runs",
+                )
+
+        # R8: public API annotation completeness.
+        if (
+            self._in_package(R8_PACKAGES)
+            and not node.name.startswith("_")
+            and not any(cls.startswith("_") for cls in self._class_stack)
+            and self._func_depth == 0
+        ):
+            gaps = _annotation_gaps(node)
+            if gaps:
+                self.report(
+                    "R8",
+                    node,
+                    f"public function {qualname}() missing annotations for: "
+                    + ", ".join(gaps),
+                )
+
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)  # type: ignore[arg-type]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- iteration (R4) --------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self.report(
+                "R4",
+                node.iter,
+                "iteration over a set: order depends on hashing; sort it "
+                "(sorted(...)) before iterating in sim code",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if _is_set_expr(node.iter):
+            self.report(
+                "R4",
+                node.iter,
+                "comprehension over a set: order depends on hashing; sort it "
+                "before iterating in sim code",
+            )
+        self.generic_visit(node)
+
+    # -- comparisons (R6) ------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side, other in ((left, right), (right, left)):
+                if isinstance(other, (ast.Constant,)) and other.value is None:
+                    break  # `x == None` is an identity-style check, not float math
+                if _looks_like_timestamp(side):
+                    self.report(
+                        "R6",
+                        node,
+                        "==/!= on a float sim timestamp: use math.isclose or "
+                        "an explicit epsilon",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- module-level state (R7) -----------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if self._in_package(R7_PACKAGES):
+            self._check_module_state(node.body)
+        self.generic_visit(node)
+
+    def _check_module_state(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.If):
+                # e.g. version guards at module level.
+                self._check_module_state(stmt.body)
+                self._check_module_state(stmt.orelse)
+                continue
+            if value is None or not _is_mutable_literal(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if all(name.startswith("__") and name.endswith("__") for name in names):
+                continue  # __all__ and friends: module metadata, never mutated
+            self.report(
+                "R7",
+                stmt,
+                f"module-level mutable state ({', '.join(names) or 'assignment'}): "
+                "state shared across runs breaks run independence",
+            )
+
+    # -- deferred R5 resolution ------------------------------------------
+
+    def finalize(self) -> None:
+        for candidates, line, col in self._process_calls:
+            for key in candidates:
+                if key in self.generators:
+                    if not self.generators[key]:
+                        self.findings.append(
+                            Finding(
+                                rule="R5",
+                                path=self.path,
+                                line=line,
+                                col=col,
+                                message=(
+                                    f"{candidates[0]}() is registered as an engine "
+                                    "process but contains no yield"
+                                ),
+                            )
+                        )
+                    break
+
+
+def _normalize_select(select: Optional[Iterable[str]]) -> Set[str]:
+    if select is None:
+        return set(RULES)
+    chosen = {s.strip().upper() for s in select if s.strip()}
+    unknown = chosen - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown simlint rule(s): {', '.join(sorted(unknown))}")
+    return chosen
+
+
+def lint_source(
+    source: str,
+    module: str = "<snippet>",
+    path: str = "<snippet>",
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint a source string; returns unsuppressed findings sorted by location."""
+    chosen = _normalize_select(select)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="E1",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    checker = _Checker(module=module, path=path, select=chosen)
+    checker.visit(tree)
+    checker.finalize()
+    suppressed = _parse_suppressions(source)
+    findings = [
+        f
+        for f in checker.findings
+        if f.rule not in suppressed.get(f.line, set())
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Iterable[str]] = None
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``."""
+    chosen = _normalize_select(select)  # reject unknown rules up-front
+    select = sorted(chosen)
+    findings: List[Finding] = []
+    files = iter_python_files(paths)
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                module=_module_name_for(file),
+                path=str(file),
+                select=select,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(findings=tuple(findings), files_scanned=len(files))

@@ -18,12 +18,18 @@ runaway schedules visible:
 * wall-clock seconds per simulated second, sampled at every simulated
   second boundary, which is the engine's own "how fast is the hardware
   letting us run" metric.
+
+This module is the **only** sim-path module allowed to read the wall
+clock (``simlint`` rule R2's allowlist): wall time here is a read-only
+*measurement* of the host, never an input to simulation behaviour, and
+even that read is injectable — tests pass a fake ``wallclock`` so probe
+arithmetic is itself deterministic.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["EngineProbe"]
 
@@ -36,9 +42,11 @@ class EngineProbe:
     ``probe``.
     """
 
-    def __init__(self, wallclock: Optional[object] = None) -> None:
+    def __init__(self, wallclock: Optional[Callable[[], float]] = None) -> None:
         #: Clock used for wall-time sampling (injectable for tests).
-        self._perf_counter = wallclock if wallclock is not None else time.perf_counter
+        self._perf_counter: Callable[[], float] = (
+            wallclock if wallclock is not None else time.perf_counter
+        )
         self.events_scheduled = 0
         self.events_fired = 0
         self.max_heap_depth = 0
@@ -91,7 +99,7 @@ class EngineProbe:
             return None
         return sum(self.wall_per_sim_second) / len(self.wall_per_sim_second)
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, object]:
         """Flat dict for JSONL export / CLI display."""
         return {
             "events_scheduled": self.events_scheduled,

@@ -27,13 +27,15 @@ the feedback loop behind the paper's Sec. 4.3 analysis.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, List, Set
+from typing import TYPE_CHECKING, List, Optional, Set
 
 from repro.pipeline.frames import Frame
 from repro.pipeline.inputs import InputEvent
+from repro.simcore import Event, ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.system import CloudSystem
+    from repro.workloads.distributions import StageTimeSampler
 
 __all__ = ["Application3D"]
 
@@ -41,7 +43,7 @@ __all__ = ["Application3D"]
 class Application3D:
     """The (closed-source) interactive 3D application, as hooked by ODR."""
 
-    def __init__(self, system: "CloudSystem"):
+    def __init__(self, system: "CloudSystem") -> None:
         self.system = system
         self.env = system.env
         self._render_sampler = system.samplers["render"]
@@ -95,7 +97,9 @@ class Application3D:
         self.frames.append(frame)
         return frame
 
-    def _busy_stage(self, stage: str, sampler, frame: Frame):
+    def _busy_stage(
+        self, stage: str, sampler: "StageTimeSampler", frame: Frame
+    ) -> ProcessGenerator:
         """Generator: run one contention-inflated stage and trace it.
 
         Rendering additionally acquires the (possibly shared) GPU when
@@ -104,7 +108,7 @@ class Application3D:
         """
         system = self.system
         resource = system.gpu_resource if stage == "render" else None
-        request = None
+        request: Optional[Event] = None
         if resource is not None:
             request = resource.request()
             yield request
@@ -125,7 +129,7 @@ class Application3D:
 
     # -- the main loop -----------------------------------------------------
 
-    def run(self):
+    def run(self) -> ProcessGenerator:
         env = self.env
         system = self.system
         while True:

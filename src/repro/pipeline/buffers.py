@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.pipeline.frames import DropReason, Frame
-from repro.simcore import Environment, Event, Gate
+from repro.simcore import Environment, Event, Gate, ProcessGenerator
 
 __all__ = ["ByteBudgetQueue", "Mailbox", "MultiBuffer"]
 
@@ -36,7 +36,9 @@ __all__ = ["ByteBudgetQueue", "Mailbox", "MultiBuffer"]
 class Mailbox:
     """Single-slot latest-frame-wins hand-off (never blocks the producer)."""
 
-    def __init__(self, env: Environment, on_drop: Optional[Callable[[Frame], None]] = None):
+    def __init__(
+        self, env: Environment, on_drop: Optional[Callable[[Frame], None]] = None
+    ) -> None:
         self.env = env
         self._slot: Optional[Frame] = None
         self._getters: List[Event] = []
@@ -53,7 +55,7 @@ class Mailbox:
         An overwritten frame is marked dropped and its input ids are
         inherited by the new frame.
         """
-        dropped = None
+        dropped: Optional[Frame] = None
         if self._getters:
             # A consumer is already waiting: hand over directly.
             self._getters.pop(0).succeed(frame)
@@ -100,7 +102,7 @@ class MultiBuffer:
     unblocked immediately.
     """
 
-    def __init__(self, env: Environment, name: str = "mulbuf"):
+    def __init__(self, env: Environment, name: str = "mulbuf") -> None:
         self.env = env
         self.name = name
         self._front: Optional[Frame] = None
@@ -158,7 +160,7 @@ class MultiBuffer:
 
     # -- guarded protocol helpers ------------------------------------------
 
-    def put_when_free(self, frame: Frame):
+    def put_when_free(self, frame: Frame) -> ProcessGenerator:
         """Generator: block until the back buffer is free, then deposit.
 
         Re-checks occupancy after every wake-up, so it stays correct when
@@ -168,7 +170,7 @@ class MultiBuffer:
             yield self.back_free()
         self.put_back(frame)
 
-    def swap_when_ready(self):
+    def swap_when_ready(self) -> ProcessGenerator:
         """Generator: block until the back buffer is full, then swap.
 
         Re-checks fullness after every wake-up (a flush may have emptied
@@ -196,17 +198,25 @@ class MultiBuffer:
         return dropped
 
 
+class _PutEvent(Event):
+    """A pending :meth:`ByteBudgetQueue.put`, carrying its frame."""
+
+    def __init__(self, env: Environment, frame: Frame) -> None:
+        super().__init__(env)
+        self.frame = frame
+
+
 class ByteBudgetQueue:
     """FIFO frame queue bounded by total bytes (a model TCP send buffer)."""
 
-    def __init__(self, env: Environment, budget_bytes: int):
+    def __init__(self, env: Environment, budget_bytes: int) -> None:
         if budget_bytes <= 0:
             raise ValueError("budget must be positive")
         self.env = env
         self.budget_bytes = budget_bytes
         self._frames: List[Frame] = []
         self._bytes = 0
-        self._putters: List[Event] = []  # (event, frame) pairs via attribute
+        self._putters: List[_PutEvent] = []
         self._getters: List[Event] = []
 
     def __len__(self) -> int:
@@ -224,8 +234,7 @@ class ByteBudgetQueue:
         """
         if frame.size_bytes <= 0:
             raise ValueError("frame must have its encoded size set before put")
-        event = Event(self.env)
-        event.frame = frame
+        event = _PutEvent(self.env, frame)
         self._putters.append(event)
         self._dispatch()
         return event

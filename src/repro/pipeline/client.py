@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, List, Optional, Set
 
 from repro.pipeline.display import DisplayModel
 from repro.pipeline.frames import Frame
-from repro.simcore import Store
+from repro.simcore import ProcessGenerator, Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.system import CloudSystem
@@ -45,7 +45,7 @@ class Client:
         system: "CloudSystem",
         refresh_hz: float = 60.0,
         display_model: Optional[DisplayModel] = None,
-    ):
+    ) -> None:
         if refresh_hz <= 0:
             raise ValueError("refresh rate must be positive")
         self.system = system
@@ -73,7 +73,7 @@ class Client:
         frame.t_received = self.env.now
         self.receive_queue.put(frame)
 
-    def run(self):
+    def run(self) -> ProcessGenerator:
         env = self.env
         system = self.system
         while True:
@@ -100,6 +100,7 @@ class Client:
         """Route the decoded frame through the display model."""
         env = self.env
         system = self.system
+        assert self.display_model is not None
         presentation = self.display_model.present(env.now)
         answer_ids = frame.input_ids | self._carry_ids
         self._carry_ids = set()

@@ -17,9 +17,10 @@ policy and lives in the regulator's network loop.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.pipeline.frames import Frame
+from repro.simcore import Event, ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.system import CloudSystem
@@ -33,7 +34,11 @@ class NetworkPath:
     #: Fixed per-frame protocol/framing overhead (ms).
     PER_FRAME_OVERHEAD_MS = 0.25
 
-    def __init__(self, system: "CloudSystem", bandwidth_schedule=None):
+    def __init__(
+        self,
+        system: "CloudSystem",
+        bandwidth_schedule: Optional[Callable[[float], float]] = None,
+    ) -> None:
         self.system = system
         self.env = system.env
         self.platform = system.platform
@@ -58,14 +63,14 @@ class NetworkPath:
         jitter = self._jitter_rng.lognormal_mean_cv(1.0, self.platform.transmit_jitter_cv)
         return base * jitter + self.PER_FRAME_OVERHEAD_MS
 
-    def transmit(self, frame: Frame):
+    def transmit(self, frame: Frame) -> ProcessGenerator:
         """Generator: serialize ``frame`` and deliver it to the client.
 
         Acquires the (possibly shared) uplink when the system defines
         one — consolidated sessions serialize their sends on it.
         """
         env = self.env
-        request = None
+        request: Optional[Event] = None
         if self.system.link_resource is not None:
             request = self.system.link_resource.request()
             yield request

@@ -11,9 +11,10 @@ encoded frame size.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.pipeline.frames import Frame
+from repro.simcore import Event, ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.system import CloudSystem
@@ -24,13 +25,13 @@ __all__ = ["ServerProxy"]
 class ServerProxy:
     """Frame encode stage on the cloud server."""
 
-    def __init__(self, system: "CloudSystem"):
+    def __init__(self, system: "CloudSystem") -> None:
         self.system = system
         self.env = system.env
         self._encode_sampler = system.samplers["encode"]
         self.encoded_count = 0
 
-    def encode(self, frame: Frame):
+    def encode(self, frame: Frame) -> ProcessGenerator:
         """Generator: encode ``frame`` into a video frame (step 5).
 
         Acquires a slot of the (possibly shared) encoder pool when the
@@ -38,7 +39,7 @@ class ServerProxy:
         """
         env = self.env
         system = self.system
-        request = None
+        request: Optional[Event] = None
         if system.encode_resource is not None:
             request = system.encode_resource.request()
             yield request

@@ -14,7 +14,7 @@ benchmarking practice of discarding start-up transients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from repro.metrics import (
     BoxStats,
@@ -31,7 +31,13 @@ from repro.pipeline.frames import DropReason, Frame
 from repro.pipeline.inputs import InputGenerator
 from repro.pipeline.network import NetworkPath
 from repro.pipeline.proxy import ServerProxy
-from repro.simcore import Environment, IntervalTrace, SeededRng
+from repro.simcore import (
+    Environment,
+    IntervalTrace,
+    ProcessGenerator,
+    Resource,
+    SeededRng,
+)
 from repro.workloads import (
     BenchmarkProfile,
     PlatformProfile,
@@ -41,6 +47,8 @@ from repro.workloads import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Telemetry
+    from repro.pipeline.abr import AbrController, AdaptiveBitrate
+    from repro.pipeline.display import DisplayModel
     from repro.regulators.base import Regulator
 
 __all__ = ["CloudSystem", "RunResult", "SystemConfig"]
@@ -89,11 +97,11 @@ class CloudSystem:
         self,
         config: SystemConfig,
         regulator: "Regulator",
-        display_model=None,
-        abr=None,
-        bandwidth_schedule=None,
+        display_model: Optional["DisplayModel"] = None,
+        abr: Optional["AdaptiveBitrate"] = None,
+        bandwidth_schedule: Optional[Callable[[float], float]] = None,
         telemetry: Optional["Telemetry"] = None,
-    ):
+    ) -> None:
         self.config = config
         self.benchmark = config.resolve_benchmark()
         self.platform = config.platform
@@ -106,9 +114,9 @@ class CloudSystem:
         # Shared-device hooks; single-session systems own their devices
         # outright (no queueing), multi-tenant sessions share Resources
         # (see repro.multitenant).
-        self.gpu_resource = None
-        self.encode_resource = None
-        self.link_resource = None
+        self.gpu_resource: Optional[Resource] = None
+        self.encode_resource: Optional[Resource] = None
+        self.link_resource: Optional[Resource] = None
         self.counter = FpsCounter()
         self.tracker = MtpLatencyTracker()
         self.trace = IntervalTrace()
@@ -148,13 +156,15 @@ class CloudSystem:
         regulator.attach(self)
 
         # Optional adaptive-bitrate controller (wraps the size sampler).
-        self.abr = abr.attach(self) if abr is not None else None
+        self.abr: Optional["AbrController"] = (
+            abr.attach(self) if abr is not None else None
+        )
 
         # Client-FPS feedback reports (used by adaptive regulators such as
         # IntMax; a no-op hook for the others).
         self.env.process(self._client_fps_reporter(), name="fps-reporter")
 
-    def _client_fps_reporter(self):
+    def _client_fps_reporter(self) -> ProcessGenerator:
         """Report the client's decode FPS to the cloud once per second."""
         env = self.env
         report_period = 1000.0

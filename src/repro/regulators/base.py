@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.pipeline.buffers import ByteBudgetQueue, Mailbox
+from repro.simcore import ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.app import Application3D
@@ -76,35 +77,39 @@ class Regulator:
 
     def _record_drop(self, frame: "Frame") -> None:
         """Annotate a buffer drop on the run's telemetry, if enabled."""
-        telemetry = self.system.telemetry if self.system is not None else None
+        if self.system is None:
+            return
+        telemetry = self.system.telemetry
         if telemetry is not None and frame.dropped is not None:
             telemetry.frame_dropped(frame, self.system.env.now, frame.dropped.value)
 
     # -- app-side hooks -------------------------------------------------------
 
-    def app_wait(self, app: "Application3D"):
+    def app_wait(self, app: "Application3D") -> ProcessGenerator:
         """Rendering delay before the next frame; default: none (free-run)."""
         return
         yield  # pragma: no cover -- generator marker
 
-    def app_submit(self, app: "Application3D", frame: "Frame"):
+    def app_submit(self, app: "Application3D", frame: "Frame") -> ProcessGenerator:
         """Deliver a rendered frame downstream; default: mailbox offer.
 
         The mailbox never blocks the renderer: an unconsumed older frame
         is simply overwritten (and thereby becomes excessive rendering).
         """
+        assert self.mailbox is not None, "build() must run before app_submit()"
         self.mailbox.offer(frame)
         return
         yield  # pragma: no cover -- generator marker
 
     # -- proxy / network loops -------------------------------------------------
 
-    def proxy_loop(self, system: "CloudSystem"):
+    def proxy_loop(self, system: "CloudSystem") -> ProcessGenerator:
         """Pull the latest rendered frame, copy+encode, push to send queue.
 
         The ``put`` blocks while the send queue's byte budget is full —
         TCP backpressure on the encoder.
         """
+        assert self.mailbox is not None and self.send_queue is not None
         while True:
             frame = yield self.mailbox.get()
             yield from system.proxy.encode(frame)
@@ -112,8 +117,9 @@ class Regulator:
             if system.telemetry is not None:
                 self._publish_queue_depth(system)
 
-    def network_loop(self, system: "CloudSystem"):
+    def network_loop(self, system: "CloudSystem") -> ProcessGenerator:
         """Serially transmit frames from the send queue."""
+        assert self.send_queue is not None, "build() must run before network_loop()"
         while True:
             frame = yield self.send_queue.get()
             if system.telemetry is not None:
@@ -122,6 +128,7 @@ class Regulator:
 
     def _publish_queue_depth(self, system: "CloudSystem") -> None:
         """Publish send-queue occupancy gauges (telemetry already checked)."""
+        assert system.telemetry is not None and self.send_queue is not None
         system.telemetry.queue_depth("send_queue", len(self.send_queue))
         system.telemetry.queue_bytes("send_queue", self.send_queue.queued_bytes)
 

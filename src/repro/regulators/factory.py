@@ -11,7 +11,7 @@ writes them.
 from __future__ import annotations
 
 import re
-from typing import Optional
+from typing import Optional, Union
 
 from repro.regulators.base import Regulator
 from repro.regulators.interval import IntervalMaxRegulator, IntervalRegulator
@@ -83,7 +83,7 @@ def make_regulator(spec: str) -> Regulator:
     )
 
 
-def regulator_label(spec_or_regulator) -> str:
+def regulator_label(spec_or_regulator: Union[str, Regulator]) -> str:
     """Normalize a spec string or regulator instance to its display name."""
     if isinstance(spec_or_regulator, Regulator):
         return spec_or_regulator.name

@@ -24,6 +24,7 @@ import math
 from typing import TYPE_CHECKING
 
 from repro.regulators.base import Regulator
+from repro.simcore import ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.app import Application3D
@@ -36,7 +37,7 @@ class IntervalRegulator(Regulator):
 
     sleep_masks_inputs = True
 
-    def __init__(self, target_fps: float):
+    def __init__(self, target_fps: float) -> None:
         super().__init__()
         if target_fps <= 0:
             raise ValueError("target_fps must be positive")
@@ -47,7 +48,7 @@ class IntervalRegulator(Regulator):
     def interval_ms(self) -> float:
         return 1000.0 / self.fps_target
 
-    def app_wait(self, app: "Application3D"):
+    def app_wait(self, app: "Application3D") -> ProcessGenerator:
         """Delay rendering to the start of the next interval grid slot."""
         env = app.env
         interval = self.interval_ms
@@ -94,7 +95,7 @@ class IntervalMaxRegulator(Regulator):
         self.interval_ms = self.MIN_INTERVAL_MS
         self._last_render_count = 0
 
-    def app_wait(self, app: "Application3D"):
+    def app_wait(self, app: "Application3D") -> ProcessGenerator:
         env = app.env
         interval = self.interval_ms
         now = env.now
@@ -105,6 +106,7 @@ class IntervalMaxRegulator(Regulator):
 
     def on_client_fps_report(self, client_fps: float) -> None:
         # Cloud-side render FPS over the same reporting period.
+        assert self.system is not None, "attach() must run before FPS reports"
         count = self.system.counter.count("render")
         render_fps = float(count - self._last_render_count)
         self._last_render_count = count

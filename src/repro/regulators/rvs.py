@@ -24,9 +24,10 @@ from this model:
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.regulators.base import Regulator
+from repro.simcore import Event, ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.app import Application3D
@@ -67,7 +68,7 @@ class RemoteVsync(Regulator):
         refresh_hz: float = 60.0,
         cc: float = 0.25,
         fps_target: Optional[float] = None,
-    ):
+    ) -> None:
         super().__init__()
         if refresh_hz <= 0:
             raise ValueError("refresh rate must be positive")
@@ -82,7 +83,7 @@ class RemoteVsync(Regulator):
         self.feedback_count = 0
         self._last_rendered_id = 0
         self._last_acked_id = 0
-        self._ack_events = []
+        self._ack_events: List[Event] = []
 
     @property
     def vblank_period_ms(self) -> float:
@@ -92,7 +93,7 @@ class RemoteVsync(Regulator):
     def frames_in_flight(self) -> int:
         return self._last_rendered_id - self._last_acked_id
 
-    def app_wait(self, app: "Application3D"):
+    def app_wait(self, app: "Application3D") -> ProcessGenerator:
         env = app.env
         period = self.vblank_period_ms
         # 1. feedback window: wait for acknowledgements (bounded stall).
@@ -113,7 +114,7 @@ class RemoteVsync(Regulator):
         if wait > 0:
             yield env.timeout(wait)
 
-    def app_submit(self, app: "Application3D", frame: "Frame"):
+    def app_submit(self, app: "Application3D", frame: "Frame") -> ProcessGenerator:
         self._last_rendered_id = frame.frame_id
         yield from super().app_submit(app, frame)
 

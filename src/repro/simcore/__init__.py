@@ -23,8 +23,8 @@ Public API
     Composite events.
 :class:`Store`, :class:`PriorityStore`, :class:`Resource`, :class:`Gate`
     Shared-state synchronization primitives.
-:class:`SeededRng`
-    Deterministic per-component random streams.
+:class:`SeededRng`, :class:`RngRegistry`
+    Deterministic per-component random streams and their named registry.
 :class:`IntervalTrace`
     Busy-interval recorder used by the hardware models.
 """
@@ -36,11 +36,12 @@ from repro.simcore.engine import (
     Event,
     Interrupt,
     Process,
+    ProcessGenerator,
     SimulationError,
     Timeout,
 )
 from repro.simcore.resources import Gate, PriorityStore, Resource, Store
-from repro.simcore.rng import SeededRng
+from repro.simcore.rng import RngRegistry, SeededRng
 from repro.simcore.tracing import IntervalTrace, TraceRecord
 
 __all__ = [
@@ -53,7 +54,9 @@ __all__ = [
     "IntervalTrace",
     "PriorityStore",
     "Process",
+    "ProcessGenerator",
     "Resource",
+    "RngRegistry",
     "SeededRng",
     "SimulationError",
     "Store",

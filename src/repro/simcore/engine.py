@@ -24,7 +24,7 @@ function of its configuration and seed.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
 
 __all__ = [
     "AllOf",
@@ -33,9 +33,17 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "ProcessGenerator",
     "SimulationError",
     "Timeout",
 ]
+
+#: A callback invoked when an event is processed.
+Callback = Callable[["Event"], None]
+
+#: The generator type of a simulation process: yields events, may be
+#: resumed with any event value, may return any value.
+ProcessGenerator = Generator["Event", Any, Any]
 
 #: Priority for events that must fire before normal events at the same time.
 URGENT = 0
@@ -73,7 +81,7 @@ class Event:
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list] = []
+        self.callbacks: Optional[List[Callback]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         #: Set by Condition events to clean up when a sibling fires first.
@@ -143,7 +151,7 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after it is created."""
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
         super().__init__(env)
@@ -160,8 +168,9 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
 
-    def __init__(self, env: "Environment", process: "Process"):
+    def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
+        assert self.callbacks is not None  # freshly constructed, unprocessed
         self.callbacks.append(process._resume)
         self._ok = True
         self._value = None
@@ -176,7 +185,9 @@ class Process(Event):
     processes to join them.
     """
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+    def __init__(
+        self, env: "Environment", generator: ProcessGenerator, name: str = ""
+    ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -212,6 +223,7 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
+        assert event.callbacks is not None  # freshly constructed, unprocessed
         event.callbacks.append(self._resume)
         self.env.schedule(event, priority=URGENT)
         if self._target.callbacks is not None and self._resume in self._target.callbacks:
@@ -272,9 +284,9 @@ class Process(Event):
 class Condition(Event):
     """Base class for composite events (:class:`AllOf` / :class:`AnyOf`)."""
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
-        self._events = list(events)
+        self._events: List[Event] = list(events)
         self._count = 0
         for event in self._events:
             if event.env is not env:
@@ -307,7 +319,7 @@ class Condition(Event):
 class ConditionValue:
     """Mapping-like view of the triggered events of a condition."""
 
-    def __init__(self, events: list):
+    def __init__(self, events: List[Event]) -> None:
         self.events = events
 
     def __getitem__(self, event: Event) -> Any:
@@ -318,7 +330,7 @@ class ConditionValue:
     def __contains__(self, event: Event) -> bool:
         return event in self.events and event.triggered
 
-    def todict(self) -> dict:
+    def todict(self) -> Dict[Event, Any]:
         return {e: e.value for e in self.events if e.triggered}
 
 
@@ -351,9 +363,9 @@ class Environment:
         calls — each hook site is one ``is None`` branch.
     """
 
-    def __init__(self, initial_time: float = 0.0, probe: Optional[Any] = None):
+    def __init__(self, initial_time: float = 0.0, probe: Optional[Any] = None) -> None:
         self._now = float(initial_time)
-        self._queue: list = []
+        self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._probe = probe
@@ -398,6 +410,8 @@ class Environment:
         if self._probe is not None:
             self._probe.on_event_fired(self._now, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} processed twice")
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -407,7 +421,7 @@ class Environment:
                 raise exc
             raise SimulationError(repr(exc))
 
-    def run(self, until: Optional[float] = None) -> Any:
+    def run(self, until: Optional[Union[float, Event]] = None) -> Any:
         """Run the simulation.
 
         ``until`` may be:
@@ -448,7 +462,7 @@ class Environment:
         """Create an event that fires after ``delay``."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: str = "") -> Process:
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process from ``generator``."""
         started = Process(self, generator, name=name)
         if self._probe is not None:
@@ -474,5 +488,6 @@ class Environment:
         event = Event(self)
         event._ok = True
         event._value = None
+        assert event.callbacks is not None  # freshly constructed, unprocessed
         event.callbacks.append(_caller)
         self.schedule(event, delay=when - self._now)

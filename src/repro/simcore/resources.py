@@ -19,7 +19,7 @@ __all__ = ["Gate", "PriorityStore", "Resource", "Store"]
 class StorePut(Event):
     """Event returned by :meth:`Store.put`; fires when the item is stored."""
 
-    def __init__(self, store: "Store", item: Any):
+    def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
 
@@ -36,7 +36,7 @@ class Store:
     classic single-slot hand-off buffer.
     """
 
-    def __init__(self, env: Environment, capacity: float = float("inf")):
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
@@ -136,7 +136,7 @@ class Resource:
             resource.release(req)
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.env = env
@@ -181,7 +181,7 @@ class Gate:
     swapped".
     """
 
-    def __init__(self, env: Environment, is_open: bool = False):
+    def __init__(self, env: Environment, is_open: bool = False) -> None:
         self.env = env
         self._open = is_open
         self._waiters: List[Event] = []

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Iterator, Sequence
+from typing import Dict, Iterator, List, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["SeededRng", "derive_seed"]
+__all__ = ["RngRegistry", "SeededRng", "derive_seed"]
+
+T = TypeVar("T")
 
 
 def derive_seed(root_seed: int, *names: object) -> int:
@@ -45,7 +47,7 @@ class SeededRng:
     sub-stream factory.
     """
 
-    def __init__(self, seed: int, name: str = "root"):
+    def __init__(self, seed: int, name: str = "root") -> None:
         self.seed = int(seed)
         self.name = name
         self._gen = np.random.default_rng(self.seed)
@@ -66,7 +68,7 @@ class SeededRng:
         """Integer in ``[low, high]`` inclusive."""
         return int(self._gen.integers(low, high + 1))
 
-    def choice(self, seq: Sequence) -> object:
+    def choice(self, seq: Sequence[T]) -> T:
         return seq[int(self._gen.integers(0, len(seq)))]
 
     def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
@@ -112,8 +114,57 @@ class SeededRng:
         while True:
             yield float(self._gen.exponential(mean))
 
-    def shuffle(self, seq: list) -> None:
-        self._gen.shuffle(seq)
+    def shuffle(self, seq: List[T]) -> None:
+        self._gen.shuffle(seq)  # type: ignore[arg-type]
 
     def __repr__(self) -> str:
         return f"<SeededRng {self.name!r} seed={self.seed}>"
+
+
+class RngRegistry:
+    """The root of all randomness for one run: named, memoized streams.
+
+    One registry is seeded from the experiment seed; every stochastic
+    component asks it for a stream by path (``registry.stream("stage",
+    "render")``).  Asking twice for the same path returns the *same*
+    stream object, so components sharing a path share a draw sequence,
+    and the set of registered paths documents exactly where randomness
+    enters a run.
+
+    ``simlint`` rule R1 enforces the inverse property: no module outside
+    :mod:`repro.simcore.rng` may touch ``random`` / ``numpy.random``
+    directly, so every draw in the simulation is reachable from a
+    registry (or a :class:`SeededRng` derived the same hash-based way)
+    and therefore a pure function of the experiment seed.
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+        self._root = SeededRng(self.root_seed, name="root")
+        self._streams: Dict[str, SeededRng] = {}
+
+    @property
+    def root(self) -> SeededRng:
+        """The root stream (prefer named sub-streams via :meth:`stream`)."""
+        return self._root
+
+    def stream(self, *names: object) -> SeededRng:
+        """The memoized stream for ``names`` (created on first request)."""
+        if not names:
+            raise ValueError("stream path must not be empty")
+        key = "/".join(map(str, names))
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._root.child(*names)
+            self._streams[key] = stream
+        return stream
+
+    def registered(self) -> List[str]:
+        """Sorted paths of every stream handed out so far."""
+        return sorted(self._streams)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RngRegistry seed={self.root_seed} "
+            f"streams={len(self._streams)}>"
+        )

@@ -140,7 +140,7 @@ def windowed_counts(times: Iterable[float], window: float, start: float, end: fl
         return []
     sorted_times = sorted(t for t in times if start <= t < end)
     n_windows = int((end - start) // window)
-    counts = []
+    counts: List[int] = []
     for i in range(n_windows):
         lo = start + i * window
         hi = lo + window

@@ -78,7 +78,9 @@ class StageTimeModel:
     @property
     def spike_mean_ms(self) -> float:
         """Analytic mean of one spike (0 when spikes are disabled)."""
-        if self.spike_prob == 0 or self.spike_scale_ms == 0:
+        # Sentinel check on a configured parameter (exact literal 0.0 set
+        # by the user), not arithmetic on a simulation timestamp.
+        if self.spike_prob == 0 or self.spike_scale_ms == 0:  # simlint: disable=R6
             return 0.0
         return self.spike_scale_ms * self.spike_alpha / (self.spike_alpha - 1.0)
 

@@ -1,0 +1,456 @@
+"""Per-rule tests for ``repro.devtools.simlint``.
+
+Each rule gets at least one positive snippet (must fire) and one
+negative snippet (must stay silent), all linted via :func:`lint_source`
+so the tests exercise the same AST path as the CLI.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.devtools.simlint import (
+    RULES,
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+)
+
+
+def lint(source, module="repro.pipeline.example", **kwargs):
+    return lint_source(textwrap.dedent(source), module=module, **kwargs)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestR1RandomUse:
+    def test_import_random_fires(self):
+        findings = lint("import random\n")
+        assert "R1" in rules_of(findings)
+
+    def test_from_random_import_fires(self):
+        findings = lint("from random import choice\n")
+        assert "R1" in rules_of(findings)
+
+    def test_numpy_random_attribute_fires(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.random()
+            """
+        )
+        assert "R1" in rules_of(findings)
+
+    def test_default_rng_fires(self):
+        findings = lint(
+            """
+            from numpy.random import default_rng
+
+            GEN = default_rng(7)
+            """
+        )
+        assert "R1" in rules_of(findings)
+
+    def test_allowlisted_module_is_silent(self):
+        findings = lint("import random\n", module="repro.simcore.rng")
+        assert "R1" not in rules_of(findings)
+
+    def test_seeded_rng_use_is_silent(self):
+        findings = lint(
+            """
+            from repro.simcore import SeededRng
+
+            def draw(rng: SeededRng) -> float:
+                return rng.uniform()
+            """
+        )
+        assert findings == []
+
+
+class TestR2WallClock:
+    def test_time_time_fires(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert "R2" in rules_of(findings)
+
+    def test_perf_counter_alias_fires(self):
+        findings = lint(
+            """
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+            """
+        )
+        assert "R2" in rules_of(findings)
+
+    def test_datetime_now_fires(self):
+        findings = lint(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        )
+        assert "R2" in rules_of(findings)
+
+    def test_probes_module_is_allowlisted(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+            module="repro.obs.probes",
+        )
+        assert "R2" not in rules_of(findings)
+
+    def test_env_now_is_silent(self):
+        findings = lint(
+            """
+            def stamp(env):
+                return env.now
+            """
+        )
+        assert findings == []
+
+
+class TestR3MutableDefaults:
+    def test_list_default_fires(self):
+        findings = lint("def f(items=[]):\n    return items\n")
+        assert "R3" in rules_of(findings)
+
+    def test_dict_call_default_fires(self):
+        findings = lint("def f(table=dict()):\n    return table\n")
+        assert "R3" in rules_of(findings)
+
+    def test_none_default_is_silent(self):
+        findings = lint("def f(items=None):\n    return items or []\n")
+        assert "R3" not in rules_of(findings)
+
+    def test_tuple_default_is_silent(self):
+        findings = lint("def f(items=()):\n    return items\n")
+        assert "R3" not in rules_of(findings)
+
+
+class TestR4SetIteration:
+    def test_for_over_set_literal_fires(self):
+        findings = lint(
+            """
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+            """
+        )
+        assert "R4" in rules_of(findings)
+
+    def test_for_over_set_call_fires(self):
+        findings = lint(
+            """
+            def f(items):
+                for x in set(items):
+                    print(x)
+            """
+        )
+        assert "R4" in rules_of(findings)
+
+    def test_comprehension_over_set_union_fires(self):
+        findings = lint(
+            """
+            def f(a, b):
+                return [x for x in set(a) | set(b)]
+            """
+        )
+        assert "R4" in rules_of(findings)
+
+    def test_sorted_set_is_silent(self):
+        findings = lint(
+            """
+            def f(items):
+                for x in sorted(set(items)):
+                    print(x)
+            """
+        )
+        assert "R4" not in rules_of(findings)
+
+    def test_list_iteration_is_silent(self):
+        findings = lint(
+            """
+            def f(items):
+                for x in list(items):
+                    print(x)
+            """
+        )
+        assert findings == []
+
+
+class TestR5EngineProcesses:
+    def test_non_generator_process_fires(self):
+        findings = lint(
+            """
+            def loop(env):
+                return None
+
+            def build(env):
+                env.process(loop(env))
+            """
+        )
+        assert "R5" in rules_of(findings)
+
+    def test_generator_process_is_silent(self):
+        findings = lint(
+            """
+            def loop(env):
+                yield env.timeout(1.0)
+
+            def build(env):
+                env.process(loop(env))
+            """
+        )
+        assert "R5" not in rules_of(findings)
+
+    def test_method_generator_resolved_across_class(self):
+        findings = lint(
+            """
+            class Stage:
+                def run(self, env):
+                    yield env.timeout(1.0)
+
+                def build(self, env):
+                    env.process(self.run(env))
+            """
+        )
+        assert "R5" not in rules_of(findings)
+
+    def test_method_non_generator_fires(self):
+        findings = lint(
+            """
+            class Stage:
+                def run(self, env):
+                    return 1
+
+                def build(self, env):
+                    env.process(self.run(env))
+            """
+        )
+        assert "R5" in rules_of(findings)
+
+
+class TestR6TimestampEquality:
+    def test_eq_on_timestamps_fires(self):
+        findings = lint(
+            """
+            def f(frame, env):
+                return frame.t_displayed == env.now
+            """
+        )
+        assert "R6" in rules_of(findings)
+
+    def test_neq_on_ms_suffix_fires(self):
+        findings = lint(
+            """
+            def f(deadline_ms, elapsed_ms):
+                return deadline_ms != elapsed_ms
+            """
+        )
+        assert "R6" in rules_of(findings)
+
+    def test_ordering_comparison_is_silent(self):
+        findings = lint(
+            """
+            def f(deadline_ms, elapsed_ms):
+                return elapsed_ms < deadline_ms
+            """
+        )
+        assert "R6" not in rules_of(findings)
+
+    def test_non_timestamp_names_are_silent(self):
+        findings = lint(
+            """
+            def f(count, total):
+                return count == total
+            """
+        )
+        assert findings == []
+
+    def test_is_none_check_is_silent(self):
+        findings = lint(
+            """
+            def f(t_displayed):
+                return t_displayed is None
+            """
+        )
+        assert findings == []
+
+
+class TestR7ModuleState:
+    def test_module_level_list_fires(self):
+        findings = lint("CACHE = []\n", module="repro.pipeline.example")
+        assert "R7" in rules_of(findings)
+
+    def test_module_level_dict_fires(self):
+        findings = lint("REGISTRY = {}\n", module="repro.regulators.example")
+        assert "R7" in rules_of(findings)
+
+    def test_outside_r7_packages_is_silent(self):
+        findings = lint("CACHE = []\n", module="repro.analysis.example")
+        assert "R7" not in rules_of(findings)
+
+    def test_dunder_all_exempt(self):
+        findings = lint('__all__ = ["f"]\n', module="repro.pipeline.example")
+        assert "R7" not in rules_of(findings)
+
+    def test_frozen_constants_are_silent(self):
+        findings = lint(
+            """
+            LIMIT = 5
+            NAMES = ("a", "b")
+            KINDS = frozenset({"x"})
+            """,
+            module="repro.core.example",
+        )
+        assert "R7" not in rules_of(findings)
+
+    def test_class_attributes_are_silent(self):
+        findings = lint(
+            """
+            class Config:
+                defaults = {"a": 1}
+            """,
+            module="repro.pipeline.example",
+        )
+        assert "R7" not in rules_of(findings)
+
+
+class TestR8Annotations:
+    def test_unannotated_public_function_fires(self):
+        findings = lint(
+            "def step(event):\n    return event\n", module="repro.simcore.example"
+        )
+        assert "R8" in rules_of(findings)
+        assert "step" in findings[0].message
+
+    def test_missing_return_annotation_fires(self):
+        findings = lint(
+            "def step(event: object):\n    return event\n",
+            module="repro.core.example",
+        )
+        assert "R8" in rules_of(findings)
+        assert "return" in findings[0].message
+
+    def test_fully_annotated_is_silent(self):
+        findings = lint(
+            "def step(event: object) -> object:\n    return event\n",
+            module="repro.simcore.example",
+        )
+        assert "R8" not in rules_of(findings)
+
+    def test_private_function_exempt(self):
+        findings = lint(
+            "def _step(event):\n    return event\n", module="repro.simcore.example"
+        )
+        assert "R8" not in rules_of(findings)
+
+    def test_self_needs_no_annotation(self):
+        findings = lint(
+            """
+            class Engine:
+                def step(self) -> None:
+                    pass
+            """,
+            module="repro.simcore.example",
+        )
+        assert "R8" not in rules_of(findings)
+
+    def test_outside_r8_packages_is_silent(self):
+        findings = lint(
+            "def step(event):\n    return event\n", module="repro.pipeline.example"
+        )
+        assert "R8" not in rules_of(findings)
+
+
+class TestSuppressions:
+    def test_disable_comment_silences_rule(self):
+        findings = lint(
+            """
+            def f():
+                for x in {1, 2}:  # simlint: disable=R4 -- order irrelevant
+                    print(x)
+            """
+        )
+        assert "R4" not in rules_of(findings)
+
+    def test_disable_is_rule_specific(self):
+        findings = lint(
+            """
+            def f(t_a, t_b):
+                return t_a == t_b  # simlint: disable=R4
+            """
+        )
+        assert "R6" in rules_of(findings)
+
+    def test_disable_multiple_rules(self):
+        findings = lint(
+            """
+            def f(t_a, t_b):
+                return t_a == t_b  # simlint: disable=R4, R6
+            """
+        )
+        assert findings == []
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n")
+        assert rules_of(findings) == ["E1"]
+
+    def test_select_restricts_rules(self):
+        source = "import random\nCACHE = []\n"
+        findings = lint_source(
+            source, module="repro.pipeline.example", select=["R7"]
+        )
+        assert rules_of(findings) == ["R7"]
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError):
+            lint_source("x = 1\n", select=["R99"])
+
+    def test_findings_sorted_by_location(self):
+        source = "import random\nimport time\n\ndef f():\n    return time.time()\n"
+        findings = lint_source(source, module="repro.pipeline.example")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_finding_render_format(self):
+        finding = Finding(rule="R1", path="a.py", line=3, col=5, message="m")
+        assert finding.render() == "a.py:3:5: R1 m"
+
+    def test_rules_catalogue_complete(self):
+        assert sorted(RULES) == [f"R{i}" for i in range(1, 9)]
+
+    def test_lint_paths_on_tree(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 5\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        report = lint_paths([str(tmp_path)])
+        assert isinstance(report, LintReport)
+        assert report.files_scanned == 2
+        assert not report.ok
+        assert report.counts() == {"R1": 1}
+
+    def test_repo_tree_is_clean(self):
+        report = lint_paths(["src/repro"])
+        assert report.ok, "\n".join(f.render() for f in report.findings)
