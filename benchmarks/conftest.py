@@ -3,18 +3,26 @@
 A single session-scoped :class:`~repro.experiments.runner.Runner` is
 shared by every bench module; it memoizes (benchmark × configuration)
 cells, so figures that share cells (most of them) re-use simulations
-instead of re-running them.
+instead of re-running them.  The runner also appends every executed
+cell's run record to the run ledger under ``.odr-runs/`` at the repo
+root, so bench sessions feed the regression sentinel
+(``odr-sim compare-runs``) for free.
 
 Bench outputs (the regenerated tables/figures) are printed through
 pytest's captured stdout; run with ``-s`` or ``-rA`` to see them, or
-read ``benchmarks/results/*.txt`` which each bench also writes.
+read ``benchmarks/results/*.txt`` which each bench also writes.  A
+bench that passes ``data=`` to :func:`save_text` additionally writes
+``benchmarks/results/*.json`` — the machine-readable twin of the text
+artifact.
 """
 
+import json
 import pathlib
 
 import pytest
 
 from repro.experiments.runner import Runner
+from repro.obs import DEFAULT_LEDGER_DIR
 
 #: Simulated milliseconds measured per cell.  Long enough for stable
 #: FPS/latency statistics, short enough for the full matrix to run in
@@ -23,21 +31,37 @@ BENCH_DURATION_MS = 15000.0
 BENCH_WARMUP_MS = 2000.0
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+LEDGER_DIR = pathlib.Path(__file__).parent.parent / DEFAULT_LEDGER_DIR
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return Runner(seed=1, duration_ms=BENCH_DURATION_MS, warmup_ms=BENCH_WARMUP_MS)
+    return Runner(
+        seed=1,
+        duration_ms=BENCH_DURATION_MS,
+        warmup_ms=BENCH_WARMUP_MS,
+        ledger=str(LEDGER_DIR),
+    )
 
 
 @pytest.fixture(scope="session")
 def save_text():
-    """Persist a regenerated table/figure under benchmarks/results/."""
+    """Persist a regenerated table/figure under benchmarks/results/.
+
+    ``_save(name, text)`` writes ``results/<name>.txt``; passing
+    ``data=`` (any JSON-serializable object) also writes
+    ``results/<name>.json`` so downstream tooling never has to parse
+    the human-readable tables.
+    """
 
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, text: str, data=None) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(data, sort_keys=True, indent=2, default=str) + "\n"
+            )
         print()
         print(text)
 

@@ -9,7 +9,7 @@ from repro.experiments.figures import fig01_fps_gap
 
 def test_fig01_fps_gap(benchmark, runner, save_text):
     result = benchmark.pedantic(lambda: fig01_fps_gap(runner), rounds=1, iterations=1)
-    save_text("fig01_fps_gap", result["text"])
+    save_text("fig01_fps_gap", result["text"], data=result["data"])
     data = result["data"]
     for bench in ("RE", "IM"):
         assert data[bench]["gap"] > 50, f"{bench} gap collapsed"

@@ -53,7 +53,20 @@ def test_replicated_headlines(benchmark, save_text):
         rows,
         title="Replicated headline claims (paired common-random-number seeds)",
     )
-    save_text("replicated_headlines", text)
+    save_text(
+        "replicated_headlines",
+        text,
+        data=[
+            {
+                "comparison": comparison,
+                "metric": metric,
+                "mean_delta": mean,
+                "ci95_halfwidth": ci,
+                "n": n,
+            }
+            for comparison, metric, mean, ci, n in rows
+        ],
+    )
 
     private, gce = deltas["private"], deltas["gce"]
     # 1. client FPS gain, significant across seeds

@@ -11,7 +11,20 @@ from repro.experiments.tables import table2
 
 def test_table2_fps_gaps(benchmark, runner, save_text):
     result = benchmark.pedantic(lambda: table2(runner), rounds=1, iterations=1)
-    save_text("table2_fps_gaps", result["text"])
+    save_text(
+        "table2_fps_gaps",
+        result["text"],
+        data=[
+            {
+                "group": r.group,
+                "spec": r.spec,
+                "avg_gap": r.avg_gap,
+                "max_gap": r.max_gap,
+                "worst_benchmark": r.worst_benchmark,
+            }
+            for r in result["rows"]
+        ],
+    )
     rows = {(r.group, r.spec): r for r in result["rows"]}
 
     # NoReg gaps are enormous on every platform

@@ -17,16 +17,27 @@ Subcommands::
     verify-determinism
                 run one scenario twice under the same seed and compare
                 schedule fingerprints
+    profile     self-profile the engine: wall time per process, stage,
+                and generator callsite, plus queue depth and events/sec
+    bench       run the smoke benchmark matrix into the run ledger and
+                write a machine-readable BENCH JSON
+    runs        list the records in the run ledger
+    baseline    show or pin the ledger's baseline record
+    compare-runs
+                regression sentinel: statistically diff two run records
+                (Mann-Whitney U + bootstrap CIs), exit 1 on regression
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.experiments.config import paper_configuration_matrix
 from repro.experiments.runner import Runner
+from repro.obs.ledger import DEFAULT_LEDGER_DIR
 from repro.pipeline import CloudSystem, SystemConfig
 from repro.regulators import make_regulator
 from repro.workloads import BENCHMARKS, PLATFORMS, Resolution
@@ -101,6 +112,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir",
         help="also persist per-cell Chrome traces + JSONL telemetry here",
     )
+    matrix.add_argument(
+        "--ledger",
+        help="append every cell's run record to this run-ledger directory",
+    )
 
     compare = sub.add_parser(
         "compare", help="paired multi-seed comparison of two regulators"
@@ -164,6 +179,102 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
     verify.add_argument(
         "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="self-profile the engine: wall time per process/stage/callsite",
+    )
+    profile.add_argument("--benchmark", choices=sorted(BENCHMARKS), default="IM")
+    profile.add_argument("--regulator", default="ODR60")
+    profile.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    profile.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, help="generator callsites to show"
+    )
+    profile.add_argument(
+        "--depth-sample", type=float, default=250.0,
+        help="queue-depth sample bucket width (simulated ms)",
+    )
+    profile.add_argument(
+        "--trace",
+        help="also write a Chrome trace with the self-profiler overlay",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="emit the profile summary as JSON"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the smoke benchmark matrix into the ledger; write BENCH JSON",
+    )
+    bench.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                       help="run-ledger directory")
+    bench.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2], help="seeds per cell"
+    )
+    bench.add_argument(
+        "--benchmarks", nargs="+", choices=sorted(BENCHMARKS), default=["IM", "STK"]
+    )
+    bench.add_argument(
+        "--regulators", nargs="+", default=["NoReg", "ODR60"],
+        help="regulator specs per cell",
+    )
+    bench.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    bench.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+    bench.add_argument(
+        "-o", "--output", default="BENCH_pr.json",
+        help="machine-readable benchmark report path",
+    )
+
+    runs_cmd = sub.add_parser("runs", help="list the run ledger's records")
+    runs_cmd.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                          help="run-ledger directory")
+
+    baseline = sub.add_parser(
+        "baseline", help="show or pin the ledger's baseline record"
+    )
+    baseline.add_argument(
+        "ref", nargs="?",
+        help="run ref to promote (run-id prefix, latest, latest~N, or a "
+             "record JSON path); omit to show the current baseline",
+    )
+    baseline.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                          help="run-ledger directory")
+
+    compare_runs = sub.add_parser(
+        "compare-runs",
+        help="regression sentinel: statistically diff two run records",
+    )
+    compare_runs.add_argument(
+        "run_a",
+        help="reference run: run-id prefix, 'latest', 'latest~N', "
+             "'baseline', or a record JSON path",
+    )
+    compare_runs.add_argument(
+        "run_b", nargs="?", default="latest",
+        help="candidate run (default: latest)",
+    )
+    compare_runs.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                              help="run-ledger directory")
+    compare_runs.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+        help="output format",
+    )
+    compare_runs.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="Mann-Whitney significance level",
+    )
+    compare_runs.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="relative mean shift below which a significant change is ignored",
+    )
+    compare_runs.add_argument(
+        "--resamples", type=int, default=2000, help="bootstrap resamples"
     )
     return parser
 
@@ -294,6 +405,214 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.obs import SimProfiler, Telemetry, write_chrome_trace
+
+    telemetry = Telemetry()
+    profiler = SimProfiler(depth_sample_ms=args.depth_sample)
+    telemetry.probe = profiler
+    config = SystemConfig(
+        benchmark=args.benchmark,
+        platform=PLATFORMS[args.platform],
+        resolution=Resolution(args.resolution),
+        seed=args.seed,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+    )
+    system = CloudSystem(config, make_regulator(args.regulator), telemetry=telemetry)
+    profiler.start()
+    system.run()
+    profiler.finish()
+
+    if args.json:
+        return json.dumps(profiler.summary(), sort_keys=True, indent=2)
+    lines = [
+        f"benchmark={args.benchmark} platform={args.platform} "
+        f"resolution={args.resolution} regulator={args.regulator}",
+        profiler.report(top_k=args.top),
+    ]
+    if args.trace:
+        n_events = write_chrome_trace(telemetry, args.trace, profiler=profiler)
+        lines.append(f"wrote {n_events} trace events (with overlay) to {args.trace}")
+    return "\n".join(lines)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        RunLedger,
+        SimProfiler,
+        Telemetry,
+        build_record,
+        git_revision,
+        host_wallclock,
+    )
+
+    ledger = RunLedger(args.ledger)
+    git_rev = git_revision()
+    platform = PLATFORMS[args.platform]
+    resolution = Resolution(args.resolution)
+    cells = []
+    for bench in args.benchmarks:
+        for spec in args.regulators:
+            for seed in args.seeds:
+                telemetry = Telemetry()
+                profiler = SimProfiler()
+                telemetry.probe = profiler
+                config = SystemConfig(
+                    benchmark=bench,
+                    platform=platform,
+                    resolution=resolution,
+                    seed=seed,
+                    duration_ms=args.duration,
+                    warmup_ms=args.warmup,
+                )
+                started = host_wallclock()
+                profiler.start()
+                result = CloudSystem(
+                    config, make_regulator(spec), telemetry=telemetry
+                ).run()
+                profiler.finish()
+                wall = host_wallclock() - started
+                record = build_record(
+                    result,
+                    {
+                        "benchmark": bench,
+                        "platform": platform.name,
+                        "resolution": resolution.value,
+                        "regulator": spec,
+                        "duration_ms": args.duration,
+                        "warmup_ms": args.warmup,
+                    },
+                    label=f"{bench}/{spec}",
+                    wall_clock_s=wall,
+                    git_rev=git_rev,
+                )
+                ledger.append(record)
+                events_per_sec = profiler.events_per_sec()
+                cells.append(
+                    {
+                        "run_id": record["run_id"],
+                        "benchmark": bench,
+                        "regulator": spec,
+                        "seed": seed,
+                        "wall_clock_s": wall,
+                        "events_fired": profiler.events_fired,
+                        "events_per_sec": events_per_sec,
+                        "client_fps": record["metrics"]["client_fps"],
+                        "fps_gap_mean": record["metrics"]["fps_gap_mean"],
+                        "mtp_mean_ms": record["metrics"]["mtp_mean_ms"],
+                    }
+                )
+                print(
+                    f"  {bench}/{spec} seed={seed}: "
+                    f"{profiler.events_fired} events in {wall:.2f} s"
+                    + (
+                        f" ({events_per_sec:,.0f} events/s)"
+                        if events_per_sec is not None
+                        else ""
+                    )
+                    + f"  -> {record['run_id']}"
+                )
+    report = {
+        "schema": 1,
+        "git_rev": git_rev,
+        "platform": args.platform,
+        "resolution": args.resolution,
+        "duration_ms": args.duration,
+        "warmup_ms": args.warmup,
+        "total_wall_clock_s": sum(c["wall_clock_s"] for c in cells),
+        "cells": cells,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    print(
+        f"bench: {len(cells)} cell(s), "
+        f"{report['total_wall_clock_s']:.2f} s total wall clock; "
+        f"ledger at {ledger.path}, report at {args.output}"
+    )
+    return 0
+
+
+def _describe_record(record: dict) -> str:
+    metrics = record.get("metrics", {})
+    wall = record.get("wall_clock_s")
+    return (
+        f"{record.get('run_id', '?'):16s} seed={record.get('seed', '?'):<3} "
+        f"{str(record.get('label', '')):24s} "
+        f"client {metrics.get('client_fps', float('nan')):6.1f} FPS  "
+        f"gap {metrics.get('fps_gap_mean', float('nan')):6.1f}"
+        + (f"  {wall:6.2f} s" if isinstance(wall, (int, float)) else "")
+        + (f"  @{record['git_rev']}" if record.get("git_rev") else "")
+    )
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.records()
+    if not records:
+        print(f"runs: ledger {ledger.path} is empty")
+        return 0
+    for record in records:
+        print(_describe_record(record))
+    baseline = ledger.baseline()
+    print(f"{len(records)} record(s) in {ledger.path}")
+    if baseline is not None:
+        print(f"baseline: {baseline.get('run_id')} ({baseline.get('label', '')})")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.obs import RunLedger, resolve_record
+
+    ledger = RunLedger(args.ledger)
+    if args.ref is None:
+        baseline = ledger.baseline()
+        if baseline is None:
+            print(f"baseline: none pinned at {ledger.baseline_path}")
+            return 1
+        print(_describe_record(baseline))
+        return 0
+    try:
+        record = resolve_record(args.ref, ledger)
+    except (OSError, ValueError) as exc:
+        print(f"baseline: {exc}", file=sys.stderr)
+        return 2
+    path = ledger.set_baseline(record)
+    print(f"pinned {record.get('run_id')} ({record.get('label', '')}) at {path}")
+    return 0
+
+
+def _cmd_compare_runs(args: argparse.Namespace) -> int:
+    from repro.obs import RunLedger, compare_records, resolve_record
+
+    ledger = RunLedger(args.ledger)
+    try:
+        record_a = resolve_record(args.run_a, ledger)
+        record_b = resolve_record(args.run_b, ledger)
+    except (OSError, ValueError) as exc:
+        print(f"compare-runs: {exc}", file=sys.stderr)
+        return 2
+    report = compare_records(
+        record_a,
+        record_b,
+        alpha=args.alpha,
+        tolerance=args.tolerance,
+        resamples=args.resamples,
+    )
+    if args.fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
     from repro.experiments import figures
 
@@ -314,11 +633,33 @@ def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:  # pragma: no cover - consumer closed the pipe
+        # e.g. ``odr-sim runs | head``: point stdout at devnull so the
+        # interpreter's exit-time flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
+
+
+def _dispatch(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "verify-determinism":
         return _cmd_verify_determinism(args)
+    if args.command == "profile":
+        print(_cmd_profile(args))
+        return 0
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
+    if args.command == "baseline":
+        return _cmd_baseline(args)
+    if args.command == "compare-runs":
+        return _cmd_compare_runs(args)
     runner = Runner(seed=args.seed, duration_ms=args.duration, warmup_ms=args.warmup)
 
     if args.command == "run":
@@ -359,6 +700,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.export import records_to_csv
 
         runner.telemetry_dir = args.telemetry_dir
+        if args.ledger:
+            runner.attach_ledger(args.ledger)
         records = []
         for config in matrix_fn(include_ablation=args.ablation):
             for bench in sorted(BENCHMARKS):

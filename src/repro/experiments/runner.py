@@ -10,17 +10,28 @@ With ``telemetry_dir`` set, every executed cell also runs under a
 :class:`repro.obs.Telemetry` and persists its full telemetry next to
 the CSV exports: a Chrome-trace JSON (Perfetto-loadable) and a JSONL
 dump per cell (see :mod:`repro.obs.exporters`).
+
+With a ``ledger`` (or ``ledger_dir``) attached, every executed cell
+additionally appends a self-describing run record — config hash, git
+revision, seed, summary metrics, per-frame distributions, engine
+statistics, wall-clock cost — to the append-only run ledger
+(:mod:`repro.obs.ledger`), the store the regression sentinel compares
+against.  Ledger runs always collect telemetry with an engine probe:
+the record needs gate-delay statistics and events/sec.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.config import ExperimentConfig, PlatformRes
 from repro.hardware import HardwareReport, evaluate_hardware
 from repro.metrics import BoxStats
+from repro.obs.ledger import RunLedger
+from repro.obs.probes import host_wallclock
+from repro.obs.runmeta import build_record, git_revision
 from repro.pipeline import CloudSystem, SystemConfig
 from repro.regulators import make_regulator
 from repro.workloads import BENCHMARKS
@@ -83,6 +94,7 @@ class Runner:
         duration_ms: float = 20000.0,
         warmup_ms: float = 3000.0,
         telemetry_dir: Optional[str] = None,
+        ledger: Optional[Union[RunLedger, str]] = None,
     ):
         self.seed = seed
         self.duration_ms = duration_ms
@@ -90,7 +102,19 @@ class Runner:
         #: When set, each executed cell persists a Chrome trace and a
         #: JSONL telemetry dump into this directory.
         self.telemetry_dir = telemetry_dir
+        #: When set, each executed cell appends a run record here.  A
+        #: string is taken as the ledger directory.
+        self.ledger: Optional[RunLedger] = None
+        self._git_rev: Optional[str] = None
+        if ledger is not None:
+            self.attach_ledger(ledger)
         self._cache: Dict[Tuple[str, str, int], ExperimentRecord] = {}
+
+    def attach_ledger(self, ledger: Union[RunLedger, str]) -> RunLedger:
+        """Start appending every executed cell's run record to ``ledger``."""
+        self.ledger = RunLedger(ledger) if isinstance(ledger, str) else ledger
+        self._git_rev = git_revision()
+        return self.ledger
 
     def run_cell(
         self, benchmark: str, config: ExperimentConfig, seed: Optional[int] = None
@@ -130,12 +154,31 @@ class Runner:
             warmup_ms=self.warmup_ms,
         )
         telemetry = None
-        if self.telemetry_dir is not None:
+        if self.telemetry_dir is not None or self.ledger is not None:
             from repro.obs import Telemetry
 
-            telemetry = Telemetry()
+            # Ledger records need gate-delay statistics (telemetry) and
+            # events/sec (engine probe), so a ledger forces both on.
+            telemetry = Telemetry(engine_probe=self.ledger is not None)
+        started = host_wallclock() if self.ledger is not None else None
         result = CloudSystem(sys_config, regulator, telemetry=telemetry).run()
-        if telemetry is not None:
+        if self.ledger is not None and started is not None:
+            record = build_record(
+                result,
+                {
+                    "benchmark": benchmark,
+                    "platform": combo.platform.name,
+                    "resolution": combo.resolution.value,
+                    "regulator": config.regulator_spec,
+                    "duration_ms": self.duration_ms,
+                    "warmup_ms": self.warmup_ms,
+                },
+                label=f"{benchmark}/{config.label}",
+                wall_clock_s=host_wallclock() - started,
+                git_rev=self._git_rev,
+            )
+            self.ledger.append(record)
+        if self.telemetry_dir is not None and telemetry is not None:
             self._persist_telemetry(telemetry, benchmark, config, seed)
 
         gap = result.fps_gap()

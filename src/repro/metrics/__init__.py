@@ -17,16 +17,31 @@ system:
 from repro.metrics.counters import FpsCounter, FpsGapReport, StageFps
 from repro.metrics.latency import LatencySample, MtpLatencyTracker
 from repro.metrics.qos import QosReport, qos_satisfaction
-from repro.metrics.stats import BoxStats, mean, percentile, summarize
+from repro.metrics.stats import (
+    BootstrapCI,
+    BoxStats,
+    MannWhitneyResult,
+    bootstrap_diff_ci,
+    bootstrap_mean_ci,
+    mann_whitney_u,
+    mean,
+    percentile,
+    summarize,
+)
 
 __all__ = [
+    "BootstrapCI",
     "BoxStats",
     "FpsCounter",
     "FpsGapReport",
     "LatencySample",
+    "MannWhitneyResult",
     "MtpLatencyTracker",
     "QosReport",
     "StageFps",
+    "bootstrap_diff_ci",
+    "bootstrap_mean_ci",
+    "mann_whitney_u",
     "mean",
     "percentile",
     "qos_satisfaction",

@@ -22,8 +22,21 @@
 :func:`chrome_trace` / :func:`write_chrome_trace` / :func:`write_jsonl`
     Exporters: Chrome Trace Format (``chrome://tracing`` / Perfetto)
     and JSONL.
+:class:`RunLedger` / :mod:`repro.obs.runmeta`
+    Cross-run persistence: every instrumented run appends a
+    self-describing, content-addressed record (config hash, git rev,
+    seed, summary metrics, per-frame distributions) to an append-only
+    JSONL ledger under ``.odr-runs/``.
+:func:`compare_records` / :class:`SentinelReport`
+    The regression sentinel: statistically-tested diffs between any
+    two run records (Mann-Whitney U + bootstrap CIs), with
+    ``ok`` / ``regressed`` / ``improved`` verdicts for CI gating.
+:class:`SimProfiler`
+    The sim-engine self-profiler: host wall time per simulated process,
+    pipeline stage, and generator callsite, plus event-queue depth over
+    time and events/sec throughput.
 
-See ``docs/OBSERVABILITY.md`` for a worked example.
+See ``docs/OBSERVABILITY.md`` for worked examples.
 """
 
 from repro.obs.exporters import (
@@ -32,7 +45,17 @@ from repro.obs.exporters import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.probes import EngineProbe
+from repro.obs.ledger import DEFAULT_LEDGER_DIR, RunLedger, load_record, resolve_record
+from repro.obs.probes import EngineProbe, host_wallclock
+from repro.obs.profiler import SimProfiler, stage_for_process
+from repro.obs.runmeta import (
+    build_record,
+    config_fingerprint,
+    git_revision,
+    metrics_digest,
+    run_id_for,
+)
+from repro.obs.sentinel import MetricComparison, SentinelReport, compare_records
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -46,6 +69,7 @@ from repro.obs.spans import PIPELINE_STAGES, FrameSpan, SpanStore, StageInterval
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
+    "DEFAULT_LEDGER_DIR",
     "PIPELINE_STAGES",
     "Counter",
     "EngineProbe",
@@ -53,14 +77,28 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramStats",
+    "MetricComparison",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "RunLedger",
+    "SentinelReport",
     "SeriesKey",
+    "SimProfiler",
     "SpanStore",
     "StageInterval",
     "Telemetry",
+    "build_record",
     "chrome_trace",
+    "compare_records",
+    "config_fingerprint",
+    "git_revision",
+    "host_wallclock",
     "jsonl_lines",
+    "load_record",
+    "metrics_digest",
+    "resolve_record",
+    "run_id_for",
+    "stage_for_process",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -18,6 +18,11 @@ in ``chrome://tracing`` and Perfetto.  The mapping:
 Simulation time is milliseconds; Chrome traces use microseconds, so
 timestamps are scaled by 1000 on export.
 
+Passing a :class:`repro.obs.profiler.SimProfiler` adds a self-profiler
+overlay: an ``event_queue_depth`` counter track (calendar depth over
+simulated time) and a ``wall_ms_per_stage`` counter summary, so the
+engine's own behaviour is visible alongside the frames it simulated.
+
 ``write_jsonl`` emits the machine-readable form: one JSON object per
 line — every frame span, then the final metrics snapshot, then the
 engine-probe summary when a probe was attached.
@@ -26,10 +31,13 @@ engine-probe summary when a probe was attached.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.obs.spans import PIPELINE_STAGES
 from repro.obs.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.profiler import SimProfiler
 
 __all__ = ["chrome_trace", "jsonl_lines", "write_chrome_trace", "write_jsonl"]
 
@@ -46,10 +54,57 @@ def _pid_map(telemetry: Telemetry) -> Dict[str, int]:
     return {session: pid for pid, session in enumerate(sessions, start=1)}
 
 
-def chrome_trace(telemetry: Telemetry) -> dict:
+#: Trace process id reserved for the engine self-profiler overlay.
+_PROFILER_PID = 0
+
+
+def _profiler_events(profiler: "SimProfiler") -> List[dict]:
+    """Counter tracks for the self-profiler overlay."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PROFILER_PID,
+            "tid": 0,
+            "args": {"name": "sim engine (self-profile)"},
+        }
+    ]
+    for t_ms, depth in profiler.depth_timeline():
+        events.append(
+            {
+                "ph": "C",
+                "name": "event_queue_depth",
+                "cat": "engine",
+                "ts": t_ms * _MS_TO_US,
+                "pid": _PROFILER_PID,
+                "tid": 0,
+                "args": {"depth": depth},
+            }
+        )
+    stages = {
+        stage: wall * 1000.0 for stage, wall in profiler.wall_by_stage().items()
+    }
+    if stages:
+        events.append(
+            {
+                "ph": "C",
+                "name": "wall_ms_per_stage",
+                "cat": "engine",
+                "ts": 0.0,
+                "pid": _PROFILER_PID,
+                "tid": 0,
+                "args": stages,
+            }
+        )
+    return events
+
+
+def chrome_trace(telemetry: Telemetry, profiler: Optional["SimProfiler"] = None) -> dict:
     """Build the Chrome Trace Format object for one run's telemetry."""
     pids = _pid_map(telemetry)
     events: List[dict] = []
+    if profiler is not None:
+        events.extend(_profiler_events(profiler))
 
     for session, pid in pids.items():
         label = f"session {session}" if session else "cloud-3d run"
@@ -127,9 +182,11 @@ def chrome_trace(telemetry: Telemetry) -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(telemetry: Telemetry, path: str) -> int:
+def write_chrome_trace(
+    telemetry: Telemetry, path: str, profiler: Optional["SimProfiler"] = None
+) -> int:
     """Write the Chrome trace to ``path``; returns the event count."""
-    trace = chrome_trace(telemetry)
+    trace = chrome_trace(telemetry, profiler=profiler)
     with open(path, "w") as handle:
         json.dump(trace, handle)
     return len(trace["traceEvents"])

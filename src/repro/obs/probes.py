@@ -31,7 +31,19 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["EngineProbe"]
+__all__ = ["EngineProbe", "host_wallclock"]
+
+
+def host_wallclock() -> float:
+    """Monotonic host wall-clock read, in seconds.
+
+    Every wall-clock measurement outside this module (the experiment
+    runner's run-cost accounting, the sim-engine self-profiler) must go
+    through this function — or through an injected replacement — rather
+    than importing :mod:`time` itself, keeping ``repro.obs.probes`` the
+    single R2-allowlisted clock site.
+    """
+    return time.perf_counter()
 
 
 class EngineProbe:

@@ -1,0 +1,286 @@
+"""The regression sentinel: statistically-tested run-to-run comparison.
+
+Given two run records (:mod:`repro.obs.runmeta`), the sentinel diffs
+the metrics the paper's argument rests on — client FPS, FPS gap, MtP
+latency — using their *per-frame distributions*, not just their means:
+
+* a **Mann-Whitney U test** (:func:`repro.metrics.stats.mann_whitney_u`)
+  decides whether the two distributions plausibly differ at all;
+* a **bootstrap confidence interval** on the difference of means
+  (:func:`repro.metrics.stats.bootstrap_diff_ci`) sizes the shift;
+* a **relative tolerance** keeps statistically-detectable-but-tiny
+  shifts from failing CI.
+
+A metric regresses only when all three agree: significant, CI excluding
+zero, and worse by more than the tolerance in the metric's bad
+direction.  Deterministic same-seed re-runs compare as identical
+distributions (p = 1) and come out ``ok`` by construction.
+
+Engine-side numbers (events/sec, wall-clock) are *informational*: they
+vary with the host machine, so they are reported but never gate.
+
+The overall verdict is ``regressed`` if any gating metric regressed,
+else ``improved`` if any improved, else ``ok`` — mapped by the CLI
+(``odr-sim compare-runs``) onto exit codes for CI gating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.stats import (
+    BootstrapCI,
+    bootstrap_diff_ci,
+    mann_whitney_u,
+)
+
+__all__ = [
+    "GATED_SERIES",
+    "MetricComparison",
+    "SentinelReport",
+    "compare_records",
+]
+
+#: The distribution-backed metrics the sentinel gates on:
+#: (series key, display name, higher_is_better).
+GATED_SERIES: Tuple[Tuple[str, str, bool], ...] = (
+    ("client_fps", "client FPS", True),
+    ("fps_gap", "FPS gap", False),
+    ("mtp_ms", "MtP latency (ms)", False),
+)
+
+#: Informational scalar metrics: (record path, display name).
+INFO_SCALARS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("engine", "events_per_sec"), "events/sec"),
+    (("wall_clock_s",), "wall clock (s)"),
+)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """Verdict on one metric between run A (reference) and run B."""
+
+    name: str
+    higher_is_better: Optional[bool]
+    mean_a: Optional[float]
+    mean_b: Optional[float]
+    #: ``mean_b - mean_a``; positive means B is larger.
+    delta: Optional[float]
+    #: ``delta`` relative to ``|mean_a|`` (None when undefined).
+    rel_delta: Optional[float]
+    p_value: Optional[float]
+    ci: Optional[BootstrapCI]
+    #: ``ok`` / ``regressed`` / ``improved`` / ``info`` / ``missing``.
+    verdict: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "higher_is_better": self.higher_is_better,
+            "mean_a": self.mean_a,
+            "mean_b": self.mean_b,
+            "delta": self.delta,
+            "rel_delta": self.rel_delta,
+            "p_value": self.p_value,
+            "ci": self.ci.as_dict() if self.ci is not None else None,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class SentinelReport:
+    """Full outcome of one run-to-run comparison."""
+
+    run_a: str
+    run_b: str
+    label_a: str
+    label_b: str
+    alpha: float
+    tolerance: float
+    comparisons: Tuple[MetricComparison, ...]
+
+    @property
+    def verdict(self) -> str:
+        verdicts = {c.verdict for c in self.comparisons}
+        if "regressed" in verdicts:
+            return "regressed"
+        if "improved" in verdicts:
+            return "improved"
+        return "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != "regressed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "alpha": self.alpha,
+            "tolerance": self.tolerance,
+            "metrics": [c.to_dict() for c in self.comparisons],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def describe(self) -> str:
+        """Human-readable comparison table."""
+        a = self.label_a or self.run_a
+        b = self.label_b or self.run_b
+        lines = [
+            f"sentinel: {b} vs {a}  ->  {self.verdict.upper()}",
+            f"  alpha={self.alpha:g}  tolerance={self.tolerance:.1%}",
+        ]
+        for comp in self.comparisons:
+            if comp.mean_a is None or comp.mean_b is None:
+                lines.append(f"  {comp.name:18s} (missing)")
+                continue
+            delta = comp.delta if comp.delta is not None else 0.0
+            parts = [
+                f"  {comp.name:18s} {comp.mean_a:10.3f} -> {comp.mean_b:10.3f}",
+                f"  d={delta:+9.3f}",
+            ]
+            if comp.rel_delta is not None:
+                parts.append(f" ({comp.rel_delta:+7.2%})")
+            if comp.p_value is not None:
+                parts.append(f"  p={comp.p_value:.4f}")
+            if comp.ci is not None:
+                parts.append(f"  CI95 [{comp.ci.low:+.3f}, {comp.ci.high:+.3f}]")
+            parts.append(f"  [{comp.verdict}]")
+            lines.append("".join(parts))
+        return "\n".join(lines)
+
+
+def _series(record: Mapping[str, Any], key: str) -> List[float]:
+    series = record.get("series", {})
+    values = series.get(key, []) if isinstance(series, Mapping) else []
+    return [float(v) for v in values]
+
+
+def _scalar(record: Mapping[str, Any], path: Sequence[str]) -> Optional[float]:
+    node: Any = record
+    for part in path:
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
+
+
+def _compare_series(
+    name: str,
+    a: Sequence[float],
+    b: Sequence[float],
+    higher_is_better: bool,
+    alpha: float,
+    tolerance: float,
+    resamples: int,
+    seed: int,
+) -> MetricComparison:
+    if not a or not b:
+        return MetricComparison(
+            name=name,
+            higher_is_better=higher_is_better,
+            mean_a=(sum(a) / len(a)) if a else None,
+            mean_b=(sum(b) / len(b)) if b else None,
+            delta=None,
+            rel_delta=None,
+            p_value=None,
+            ci=None,
+            verdict="missing",
+        )
+    mean_a = sum(a) / len(a)
+    mean_b = sum(b) / len(b)
+    delta = mean_b - mean_a
+    rel = delta / abs(mean_a) if mean_a != 0 else None
+    test = mann_whitney_u(a, b)
+    ci = bootstrap_diff_ci(a, b, resamples=resamples, seed=seed)
+
+    verdict = "ok"
+    shifted = test.p_value < alpha and not ci.contains(0.0)
+    beyond = rel is None or abs(rel) > tolerance
+    if shifted and beyond:
+        got_worse = delta < 0 if higher_is_better else delta > 0
+        verdict = "regressed" if got_worse else "improved"
+    return MetricComparison(
+        name=name,
+        higher_is_better=higher_is_better,
+        mean_a=mean_a,
+        mean_b=mean_b,
+        delta=delta,
+        rel_delta=rel,
+        p_value=test.p_value,
+        ci=ci,
+        verdict=verdict,
+    )
+
+
+def _compare_scalar(
+    name: str, a: Optional[float], b: Optional[float]
+) -> MetricComparison:
+    delta = (b - a) if a is not None and b is not None else None
+    rel: Optional[float] = None
+    if delta is not None and a is not None and a != 0.0:
+        rel = delta / abs(a)
+    return MetricComparison(
+        name=name,
+        higher_is_better=None,
+        mean_a=a,
+        mean_b=b,
+        delta=delta,
+        rel_delta=rel,
+        p_value=None,
+        ci=None,
+        verdict="info" if a is not None and b is not None else "missing",
+    )
+
+
+def compare_records(
+    record_a: Mapping[str, Any],
+    record_b: Mapping[str, Any],
+    alpha: float = 0.01,
+    tolerance: float = 0.02,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> SentinelReport:
+    """Diff run B against reference run A.
+
+    ``alpha`` is the Mann-Whitney significance level, ``tolerance`` the
+    minimum relative mean shift that may gate, ``resamples``/``seed``
+    the bootstrap configuration (deterministic for a given seed).
+    """
+    comparisons: List[MetricComparison] = []
+    for index, (key, name, higher_is_better) in enumerate(GATED_SERIES):
+        comparisons.append(
+            _compare_series(
+                name,
+                _series(record_a, key),
+                _series(record_b, key),
+                higher_is_better,
+                alpha=alpha,
+                tolerance=tolerance,
+                resamples=resamples,
+                seed=seed + index,
+            )
+        )
+    for path, name in INFO_SCALARS:
+        comparisons.append(
+            _compare_scalar(name, _scalar(record_a, path), _scalar(record_b, path))
+        )
+    return SentinelReport(
+        run_a=str(record_a.get("run_id", "?")),
+        run_b=str(record_b.get("run_id", "?")),
+        label_a=str(record_a.get("label", "")),
+        label_b=str(record_b.get("label", "")),
+        alpha=alpha,
+        tolerance=tolerance,
+        comparisons=tuple(comparisons),
+    )

@@ -234,6 +234,9 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Resume the generator with the value/exception of ``event``."""
+        hooks = self.env._resume_hooks
+        if hooks is not None:
+            hooks[0](self)
         self.env._active_process = self
         while True:
             try:
@@ -276,6 +279,8 @@ class Process(Event):
             event = next_event
 
         self.env._active_process = None
+        if hooks is not None:
+            hooks[1](self)
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
@@ -348,6 +353,32 @@ class AnyOf(Condition):
         return count >= 1 or total == 0
 
 
+#: Paired (begin, end) process-resume observers, resolved once per probe.
+_ResumeHooks = Tuple[Callable[["Process"], None], Callable[["Process"], None]]
+
+
+def _resolve_resume_hooks(probe: Optional[Any]) -> Optional[_ResumeHooks]:
+    """Extract the optional resume-profiling hooks from a probe.
+
+    Resolved once at probe-attach time so the per-resume cost on the
+    hot path is a single ``is None`` branch; probes without the
+    extended interface (``on_resume_begin`` / ``on_resume_end``) keep
+    working unchanged.  The hooks must be defined on the probe's
+    *class* — detection looks at the type, never the instance, so
+    attaching a probe performs no instance attribute access.
+    """
+    if probe is None:
+        return None
+    cls = type(probe)
+    if (
+        getattr(cls, "on_resume_begin", None) is None
+        or getattr(cls, "on_resume_end", None) is None
+    ):
+        return None
+    # class lookup succeeded, so these bind without __getattr__ fallback
+    return (probe.on_resume_begin, probe.on_resume_end)
+
+
 class Environment:
     """The simulation environment: clock, event calendar, process factory.
 
@@ -369,6 +400,7 @@ class Environment:
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._probe = probe
+        self._resume_hooks = _resolve_resume_hooks(probe)
 
     @property
     def now(self) -> float:
@@ -388,6 +420,7 @@ class Environment:
     def set_probe(self, probe: Optional[Any]) -> None:
         """Attach (or detach, with ``None``) the engine observer."""
         self._probe = probe
+        self._resume_hooks = _resolve_resume_hooks(probe)
 
     # -- scheduling ----------------------------------------------------
 

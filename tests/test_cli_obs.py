@@ -1,0 +1,139 @@
+"""CLI tests for the observability verbs: profile, bench, runs, baseline,
+compare-runs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = ("--duration", "4000", "--warmup", "500")
+
+
+def run_cli(capsys, *argv, expect=0):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == expect, captured.out + captured.err
+    return captured.out
+
+
+@pytest.fixture()
+def ledger_dir(tmp_path):
+    return str(tmp_path / "runs")
+
+
+def bench_fast(capsys, ledger_dir, out_path, seeds=("1",)):
+    return run_cli(
+        capsys, *FAST, "bench", "--ledger", ledger_dir,
+        "--seeds", *seeds, "--benchmarks", "IM", "--regulators", "NoReg", "ODR60",
+        "-o", out_path,
+    )
+
+
+class TestProfile:
+    def test_profile_text_report(self, capsys):
+        out = run_cli(capsys, *FAST, "profile", "--benchmark", "IM",
+                      "--regulator", "ODR60")
+        assert "engine profile:" in out
+        assert "stage wall time:" in out
+        assert "render" in out
+        assert "generator callsites:" in out
+
+    def test_profile_json_summary(self, capsys):
+        out = run_cli(capsys, *FAST, "profile", "--json")
+        summary = json.loads(out)
+        assert summary["events_fired"] > 0
+        assert summary["total_wall_s"] > 0
+        # per-stage wall time sums to the profiled total within 10%
+        stage_sum = sum(summary["wall_by_stage"].values())
+        assert abs(stage_sum - summary["total_wall_s"]) <= 0.1 * summary["total_wall_s"]
+
+    def test_profile_trace_overlay(self, capsys, tmp_path):
+        trace_path = tmp_path / "prof.trace.json"
+        out = run_cli(capsys, *FAST, "profile", "--trace", str(trace_path))
+        assert "with overlay" in out
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "event_queue_depth" in names
+
+
+class TestBenchAndLedgerVerbs:
+    def test_bench_writes_ledger_and_report(self, capsys, ledger_dir, tmp_path):
+        report_path = tmp_path / "BENCH.json"
+        out = bench_fast(capsys, ledger_dir, str(report_path))
+        assert "2 cell(s)" in out
+        report = json.loads(report_path.read_text())
+        assert len(report["cells"]) == 2
+        for cell in report["cells"]:
+            assert cell["wall_clock_s"] > 0
+            assert cell["events_per_sec"] > 0
+            assert cell["events_fired"] > 0
+        labels = {(c["benchmark"], c["regulator"]) for c in report["cells"]}
+        assert labels == {("IM", "NoReg"), ("IM", "ODR60")}
+
+    def test_runs_lists_the_ledger(self, capsys, ledger_dir, tmp_path):
+        bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))
+        out = run_cli(capsys, "runs", "--ledger", ledger_dir)
+        assert "2 record(s)" in out
+        assert "IM/NoReg" in out and "IM/ODR60" in out
+
+    def test_runs_on_empty_ledger(self, capsys, ledger_dir):
+        out = run_cli(capsys, "runs", "--ledger", ledger_dir)
+        assert "empty" in out
+
+    def test_baseline_pin_show_and_missing(self, capsys, ledger_dir, tmp_path):
+        run_cli(capsys, "baseline", "--ledger", ledger_dir, expect=1)
+        bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))
+        out = run_cli(capsys, "baseline", "latest", "--ledger", ledger_dir)
+        assert "pinned" in out
+        out = run_cli(capsys, "baseline", "--ledger", ledger_dir)
+        assert "IM/ODR60" in out
+
+    def test_compare_runs_same_cell_ok(self, capsys, ledger_dir, tmp_path):
+        bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))
+        out = run_cli(capsys, "compare-runs", "latest", "latest",
+                      "--ledger", ledger_dir)
+        assert "OK" in out
+
+    def test_compare_runs_regression_exits_one(self, capsys, ledger_dir, tmp_path):
+        bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))
+        # ODR60 (latest) -> NoReg (latest~1): MtP latency balloons
+        out = run_cli(capsys, "compare-runs", "latest", "latest~1",
+                      "--ledger", ledger_dir, expect=1)
+        assert "REGRESSED" in out
+
+    def test_compare_runs_json_format(self, capsys, ledger_dir, tmp_path):
+        bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))
+        out = run_cli(capsys, "compare-runs", "latest", "latest",
+                      "--ledger", ledger_dir, "--format", "json")
+        payload = json.loads(out)
+        assert payload["verdict"] == "ok"
+        assert {m["name"] for m in payload["metrics"]} >= {
+            "client FPS", "FPS gap", "MtP latency (ms)"
+        }
+
+    def test_compare_runs_bad_reference_exits_two(self, capsys, ledger_dir):
+        run_cli(capsys, "compare-runs", "latest", "--ledger", ledger_dir,
+                expect=2)
+
+    def test_compare_runs_accepts_record_files(self, capsys, ledger_dir, tmp_path):
+        bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))
+        from repro.obs import RunLedger
+
+        record = RunLedger(ledger_dir).latest()
+        standalone = tmp_path / "baseline.json"
+        standalone.write_text(json.dumps(record))
+        out = run_cli(capsys, "compare-runs", str(standalone), record["run_id"],
+                      "--ledger", ledger_dir)
+        assert "OK" in out
+
+    def test_matrix_ledger_flag(self, capsys, tmp_path):
+        ledger_dir = str(tmp_path / "mruns")
+        run_cli(capsys, "--duration", "2000", "--warmup", "500",
+                "matrix", str(tmp_path / "out.csv"), "--ledger", ledger_dir)
+        from repro.obs import RunLedger
+
+        ledger = RunLedger(ledger_dir)
+        # full paper matrix: 28 configurations x 6 benchmarks
+        assert len(ledger) == 168
+        assert all("engine" in r for r in ledger.records())

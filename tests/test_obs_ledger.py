@@ -1,0 +1,203 @@
+"""Run records (runmeta) and the append-only run ledger."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, PlatformRes
+from repro.obs import (
+    RunLedger,
+    Telemetry,
+    build_record,
+    config_fingerprint,
+    load_record,
+    metrics_digest,
+    resolve_record,
+    run_id_for,
+)
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.regulators import make_regulator
+from repro.workloads import PLATFORMS, Resolution
+
+PAYLOAD = {
+    "benchmark": "IM",
+    "platform": "private",
+    "resolution": "720p",
+    "regulator": "ODR60",
+    "duration_ms": 4000.0,
+    "warmup_ms": 1000.0,
+}
+
+
+def run_once(seed=1, regulator="ODR60", probe=True):
+    config = SystemConfig(
+        benchmark="IM",
+        platform=PLATFORMS["private"],
+        resolution=Resolution("720p"),
+        seed=seed,
+        duration_ms=4000.0,
+        warmup_ms=1000.0,
+    )
+    telemetry = Telemetry(engine_probe=probe)
+    return CloudSystem(config, make_regulator(regulator), telemetry=telemetry).run()
+
+
+@pytest.fixture(scope="module")
+def record():
+    return build_record(
+        run_once(), PAYLOAD, label="IM/ODR60", wall_clock_s=0.25, git_rev="abc1234"
+    )
+
+
+class TestRunIdentity:
+    def test_run_id_is_16_hex(self):
+        run_id = run_id_for(PAYLOAD, 1)
+        assert len(run_id) == 16
+        int(run_id, 16)
+
+    def test_run_id_stable_and_order_independent(self):
+        shuffled = dict(reversed(list(PAYLOAD.items())))
+        assert run_id_for(PAYLOAD, 1) == run_id_for(shuffled, 1)
+
+    def test_run_id_depends_on_seed_and_config(self):
+        assert run_id_for(PAYLOAD, 1) != run_id_for(PAYLOAD, 2)
+        other = dict(PAYLOAD, regulator="NoReg")
+        assert run_id_for(PAYLOAD, 1) != run_id_for(other, 1)
+
+    def test_fingerprint_is_sha256_hex(self):
+        assert len(config_fingerprint(PAYLOAD)) == 64
+
+
+class TestBuildRecord:
+    def test_identity_fields(self, record):
+        assert record["run_id"] == run_id_for(PAYLOAD, 1)
+        assert record["seed"] == 1
+        assert record["config"] == PAYLOAD
+        assert record["label"] == "IM/ODR60"
+        assert record["git_rev"] == "abc1234"
+        assert record["wall_clock_s"] == 0.25
+        assert record["schema"] == 1
+
+    def test_summary_metrics(self, record):
+        metrics = record["metrics"]
+        assert metrics["client_fps"] > 0
+        assert metrics["render_fps"] >= metrics["client_fps"] - 1.0
+        assert metrics["qos_target"] == 60.0
+        assert metrics["mtp_mean_ms"] > 0
+        assert metrics["frames_rendered"] > 0
+        assert set(metrics["stage_utilization"]) >= {"render", "encode"}
+        # telemetry was attached, so gate-delay stats made it in
+        assert metrics["gate_delay"]["count"] > 0
+
+    def test_distribution_series(self, record):
+        series = record["series"]
+        assert len(series["client_fps"]) >= 3
+        assert len(series["fps_gap"]) == len(series["client_fps"])
+        assert len(series["mtp_ms"]) > 0
+
+    def test_engine_stats_with_probe(self, record):
+        engine = record["engine"]
+        assert engine["events_fired"] > 0
+        assert engine["events_per_sec"] == engine["events_fired"] / 0.25
+
+    def test_rng_stream_provenance(self, record):
+        assert any(s.startswith("stage/") for s in record["rng_streams"])
+
+    def test_record_round_trips_through_json(self, record):
+        assert json.loads(json.dumps(record)) == record
+
+    def test_same_seed_rerun_has_equal_metrics_digest(self, record):
+        again = build_record(
+            run_once(), PAYLOAD, label="IM/ODR60", wall_clock_s=9.9, git_rev="zzz"
+        )
+        # wall clock and provenance differ; the measured content must not
+        assert metrics_digest(again) == metrics_digest(record)
+        assert again["run_id"] == record["run_id"]
+
+
+class TestRunLedger:
+    def test_append_and_get(self, tmp_path, record):
+        ledger = RunLedger(tmp_path / "runs")
+        assert ledger.append(record) == record["run_id"]
+        assert len(ledger) == 1
+        assert ledger.get(record["run_id"][:6]) == record
+        assert ledger.latest() == record
+
+    def test_identical_rerun_dedupes(self, tmp_path, record):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.append(record)
+        ledger.append(dict(record))
+        assert len(ledger) == 1
+
+    def test_changed_content_appends_new_version(self, tmp_path, record):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.append(record)
+        changed = json.loads(json.dumps(record))
+        changed["metrics"]["client_fps"] += 1.0
+        ledger.append(changed)
+        assert len(ledger) == 2
+        # lookups return the latest version of the id
+        assert ledger.get(record["run_id"]) == changed
+
+    def test_record_without_id_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunLedger(tmp_path / "runs").append({"metrics": {}})
+
+    def test_baseline_pin_and_read(self, tmp_path, record):
+        ledger = RunLedger(tmp_path / "runs")
+        assert ledger.baseline() is None
+        path = ledger.set_baseline(record)
+        assert ledger.baseline() == record
+        assert load_record(path) == record
+
+
+class TestResolveRecord:
+    def test_all_reference_forms(self, tmp_path, record):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.append(record)
+        older = json.loads(json.dumps(record))
+        older["run_id"] = "feedfacefeedface"
+        ledger.append(older)
+        ledger.set_baseline(record)
+        standalone = tmp_path / "one.json"
+        standalone.write_text(json.dumps(record))
+
+        assert resolve_record("latest", ledger) == older
+        assert resolve_record("latest~1", ledger) == record
+        assert resolve_record("baseline", ledger) == record
+        assert resolve_record(str(standalone), ledger) == record
+        assert resolve_record("feedface", ledger) == older
+
+    def test_unresolvable_reference_raises(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        for ref in ("latest", "latest~2", "baseline", "nope123"):
+            with pytest.raises(ValueError):
+                resolve_record(ref, ledger)
+
+
+class TestRunnerIntegration:
+    def test_runner_appends_one_record_per_executed_cell(self, tmp_path):
+        from repro.experiments.runner import Runner
+
+        runner = Runner(
+            seed=1, duration_ms=3000.0, warmup_ms=500.0,
+            ledger=str(tmp_path / "runs"),
+        )
+        combo = PlatformRes(PLATFORMS["private"], Resolution("720p"))
+        config = ExperimentConfig(combo, "ODR60")
+        runner.run_cell("IM", config)
+        assert len(runner.ledger) == 1
+        record = runner.ledger.latest()
+        assert record["label"] == "IM/" + config.label
+        assert record["config"]["benchmark"] == "IM"
+        assert record["config"]["regulator"] == "ODR60"
+        assert record["wall_clock_s"] > 0
+        assert record["engine"]["events_per_sec"] > 0
+        # memoized recall must not execute (or append) again
+        runner.run_cell("IM", config)
+        assert len(runner.ledger) == 1
+
+    def test_runner_without_ledger_stays_ledger_free(self):
+        from repro.experiments.runner import Runner
+
+        assert Runner(seed=1).ledger is None
