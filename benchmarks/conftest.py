@@ -1,12 +1,22 @@
 """Shared fixtures for the table/figure regeneration benches.
 
 A single session-scoped :class:`~repro.experiments.runner.Runner` is
-shared by every bench module; it memoizes (benchmark × configuration)
-cells, so figures that share cells (most of them) re-use simulations
-instead of re-running them.  The runner also appends every executed
-cell's run record to the run ledger under ``.odr-runs/`` at the repo
-root, so bench sessions feed the regression sentinel
-(``odr-sim compare-runs``) for free.
+shared by every bench module.  Since the plan/execute split it sits on
+the run_id-keyed :class:`~repro.experiments.store.ResultStore`, so
+figures that share cells (most of them) re-use simulations instead of
+re-running them, and the executor is configurable:
+
+* ``ODR_BENCH_WORKERS=N`` — execute cells through the process-pool
+  :class:`~repro.experiments.executor.ParallelExecutor` (bit-identical
+  to serial; the default is serial);
+* ``ODR_BENCH_RESUME=1`` — persist completed cells under
+  ``.odr-runs/cells/`` and warm-start the next bench session from
+  them.  Opt-in, because persisted cells outlive code changes: only
+  use it to resume an interrupted sweep of *unchanged* code.
+
+The runner also appends every executed cell's run record to the run
+ledger under ``.odr-runs/`` at the repo root, so bench sessions feed
+the regression sentinel (``odr-sim compare-runs``) for free.
 
 Bench outputs (the regenerated tables/figures) are printed through
 pytest's captured stdout; run with ``-s`` or ``-rA`` to see them, or
@@ -17,11 +27,14 @@ artifact.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
+from repro.experiments.executor import make_executor
 from repro.experiments.runner import Runner
+from repro.experiments.store import ResultStore
 from repro.obs import DEFAULT_LEDGER_DIR
 
 #: Simulated milliseconds measured per cell.  Long enough for stable
@@ -36,11 +49,16 @@ LEDGER_DIR = pathlib.Path(__file__).parent.parent / DEFAULT_LEDGER_DIR
 
 @pytest.fixture(scope="session")
 def runner():
+    workers = int(os.environ.get("ODR_BENCH_WORKERS", "1"))
+    resume = os.environ.get("ODR_BENCH_RESUME") == "1"
+    store = ResultStore(LEDGER_DIR / "cells") if resume else ResultStore()
     return Runner(
         seed=1,
         duration_ms=BENCH_DURATION_MS,
         warmup_ms=BENCH_WARMUP_MS,
         ledger=str(LEDGER_DIR),
+        executor=make_executor(workers),
+        store=store,
     )
 
 

@@ -9,6 +9,14 @@ Subcommands::
     summary     regenerate the Sec. 6.6 overall summary
     userstudy   regenerate the Sec. 6.7 user study surrogate (Figs. 14-15)
     matrix      run the full 28-configuration matrix, export CSV
+
+Sweep-shaped subcommands (``figure``, ``table2``, ``summary``,
+``matrix``, ``bench``) plan their cells first and accept ``--workers N``
+(process-pool execution, bit-identical to serial) and ``--resume``
+(persist completed cells under ``<ledger>/cells/`` and warm-start the
+next invocation); ``matrix`` additionally takes ``--benchmarks`` /
+``--groups`` to run a reduced matrix.  Remaining subcommands::
+
     compare     paired multi-seed comparison of two regulators
     consolidate multi-tenant sessions-per-server sweep
     breakdown   decompose MtP latency by pipeline component
@@ -35,14 +43,29 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.experiments.config import paper_configuration_matrix
+from repro.experiments.config import paper_configuration_matrix, platform_res_combos
+from repro.experiments.executor import make_executor
 from repro.experiments.runner import Runner
+from repro.experiments.store import ResultStore
 from repro.obs.ledger import DEFAULT_LEDGER_DIR
 from repro.pipeline import CloudSystem, SystemConfig
 from repro.regulators import make_regulator
 from repro.workloads import BENCHMARKS, PLATFORMS, Resolution
 
 __all__ = ["main"]
+
+
+def _add_exec_args(sub: argparse.ArgumentParser) -> None:
+    """The plan-executor knobs shared by every sweep-shaped subcommand."""
+    sub.add_argument(
+        "--workers", type=int, default=1,
+        help="execute the cell plan over N worker processes (default: serial)",
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help="persist completed cells under the ledger directory's cells/ "
+             "store and reuse them across invocations (warm start)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -96,9 +119,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "number",
         choices=["1", "3", "4", "5", "6", "7", "9", "10", "11", "12", "13"],
     )
+    _add_exec_args(fig)
 
-    sub.add_parser("table2", help="regenerate Table 2 (FPS gaps)")
-    sub.add_parser("summary", help="regenerate the Sec. 6.6 overall summary")
+    table2_cmd = sub.add_parser("table2", help="regenerate Table 2 (FPS gaps)")
+    _add_exec_args(table2_cmd)
+    summary_cmd = sub.add_parser(
+        "summary", help="regenerate the Sec. 6.6 overall summary"
+    )
+    _add_exec_args(summary_cmd)
     sub.add_parser("userstudy", help="regenerate the user study surrogate")
     sub.add_parser("list", help="list benchmarks, platforms, configurations")
 
@@ -109,6 +137,15 @@ def _build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--ablation", action="store_true",
                         help="include the ODRMax-noPri rows")
     matrix.add_argument(
+        "--benchmarks", nargs="+", choices=sorted(BENCHMARKS),
+        help="restrict to these benchmarks (reduced matrix)",
+    )
+    matrix.add_argument(
+        "--groups", nargs="+",
+        choices=[c.label for c in platform_res_combos()],
+        help="restrict to these platform-resolution groups (reduced matrix)",
+    )
+    matrix.add_argument(
         "--telemetry-dir",
         help="also persist per-cell Chrome traces + JSONL telemetry here",
     )
@@ -116,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ledger",
         help="append every cell's run record to this run-ledger directory",
     )
+    _add_exec_args(matrix)
 
     compare = sub.add_parser(
         "compare", help="paired multi-seed comparison of two regulators"
@@ -230,6 +268,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="BENCH_pr.json",
         help="machine-readable benchmark report path",
     )
+    _add_exec_args(bench)
 
     runs_cmd = sub.add_parser("runs", help="list the run ledger's records")
     runs_cmd.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
@@ -440,83 +479,110 @@ def _cmd_profile(args: argparse.Namespace) -> str:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    import json
+    """The smoke benchmark matrix, via the plan/execute core.
 
-    from repro.obs import (
-        RunLedger,
-        SimProfiler,
-        Telemetry,
-        build_record,
-        git_revision,
-        host_wallclock,
+    The plan runs with :class:`SerialExecutor`; with ``--workers N > 1``
+    it runs a *second* time through :class:`ParallelExecutor` on a
+    fresh store, and the report gains an ``executor_comparison``
+    section — serial vs parallel wall clock, speedup, and a
+    bit-identity check — so executor throughput regressions gate like
+    any other benchmark number.
+    """
+    import json
+    import os as _os
+
+    from repro.experiments import (
+        ParallelExecutor,
+        ResultStore,
+        SerialExecutor,
+        bench_demands,
     )
+    from repro.obs import RunLedger, git_revision, host_wallclock, metrics_digest
 
     ledger = RunLedger(args.ledger)
     git_rev = git_revision()
-    platform = PLATFORMS[args.platform]
-    resolution = Resolution(args.resolution)
+    plan = bench_demands(
+        benchmarks=args.benchmarks,
+        regulators=args.regulators,
+        seeds=args.seeds,
+        platform=args.platform,
+        resolution=args.resolution,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+    )
+    started = host_wallclock()
+    serial_report = SerialExecutor().run(
+        plan, store=ResultStore(), ledger=ledger, git_rev=git_rev
+    )
+    serial_wall = host_wallclock() - started
+
+    chosen = serial_report
+    comparison = None
+    if args.workers > 1:
+        started = host_wallclock()
+        parallel_report = ParallelExecutor(args.workers).run(
+            plan, store=ResultStore(), ledger=ledger, git_rev=git_rev
+        )
+        parallel_wall = host_wallclock() - started
+        identical = all(
+            a.record == b.record
+            and a.ledger_record is not None
+            and b.ledger_record is not None
+            and metrics_digest(a.ledger_record) == metrics_digest(b.ledger_record)
+            for a, b in zip(serial_report.outcomes, parallel_report.outcomes)
+        )
+        comparison = {
+            "workers": args.workers,
+            "host_cpus": _os.cpu_count(),
+            "cells": len(plan),
+            "serial_wall_clock_s": serial_wall,
+            "parallel_wall_clock_s": parallel_wall,
+            "speedup": serial_wall / parallel_wall if parallel_wall > 0 else None,
+            "bit_identical": identical,
+        }
+        chosen = parallel_report
+        print(
+            f"  executors: serial {serial_wall:.2f} s vs "
+            f"parallel(x{args.workers}) {parallel_wall:.2f} s "
+            f"({comparison['speedup']:.2f}x, "
+            f"{'bit-identical' if identical else 'DIVERGED'})"
+        )
+        if not identical:
+            print("bench: parallel output diverged from serial", file=sys.stderr)
+            return 1
+
     cells = []
-    for bench in args.benchmarks:
-        for spec in args.regulators:
-            for seed in args.seeds:
-                telemetry = Telemetry()
-                profiler = SimProfiler()
-                telemetry.probe = profiler
-                config = SystemConfig(
-                    benchmark=bench,
-                    platform=platform,
-                    resolution=resolution,
-                    seed=seed,
-                    duration_ms=args.duration,
-                    warmup_ms=args.warmup,
-                )
-                started = host_wallclock()
-                profiler.start()
-                result = CloudSystem(
-                    config, make_regulator(spec), telemetry=telemetry
-                ).run()
-                profiler.finish()
-                wall = host_wallclock() - started
-                record = build_record(
-                    result,
-                    {
-                        "benchmark": bench,
-                        "platform": platform.name,
-                        "resolution": resolution.value,
-                        "regulator": spec,
-                        "duration_ms": args.duration,
-                        "warmup_ms": args.warmup,
-                    },
-                    label=f"{bench}/{spec}",
-                    wall_clock_s=wall,
-                    git_rev=git_rev,
-                )
-                ledger.append(record)
-                events_per_sec = profiler.events_per_sec()
-                cells.append(
-                    {
-                        "run_id": record["run_id"],
-                        "benchmark": bench,
-                        "regulator": spec,
-                        "seed": seed,
-                        "wall_clock_s": wall,
-                        "events_fired": profiler.events_fired,
-                        "events_per_sec": events_per_sec,
-                        "client_fps": record["metrics"]["client_fps"],
-                        "fps_gap_mean": record["metrics"]["fps_gap_mean"],
-                        "mtp_mean_ms": record["metrics"]["mtp_mean_ms"],
-                    }
-                )
-                print(
-                    f"  {bench}/{spec} seed={seed}: "
-                    f"{profiler.events_fired} events in {wall:.2f} s"
-                    + (
-                        f" ({events_per_sec:,.0f} events/s)"
-                        if events_per_sec is not None
-                        else ""
-                    )
-                    + f"  -> {record['run_id']}"
-                )
+    for outcome in chosen.outcomes:
+        record = outcome.ledger_record
+        assert record is not None  # fresh stores: every cell executed
+        engine = record.get("engine", {})
+        events_fired = engine.get("events_fired")
+        events_per_sec = engine.get("events_per_sec")
+        cells.append(
+            {
+                "run_id": record["run_id"],
+                "benchmark": outcome.spec.benchmark,
+                "regulator": outcome.spec.regulator,
+                "seed": outcome.spec.seed,
+                "wall_clock_s": outcome.wall_clock_s,
+                "events_fired": events_fired,
+                "events_per_sec": events_per_sec,
+                "client_fps": record["metrics"]["client_fps"],
+                "fps_gap_mean": record["metrics"]["fps_gap_mean"],
+                "mtp_mean_ms": record["metrics"]["mtp_mean_ms"],
+            }
+        )
+        print(
+            f"  {outcome.spec.benchmark}/{outcome.spec.regulator} "
+            f"seed={outcome.spec.seed}: "
+            f"{events_fired} events in {outcome.wall_clock_s:.2f} s"
+            + (
+                f" ({events_per_sec:,.0f} events/s)"
+                if events_per_sec is not None
+                else ""
+            )
+            + f"  -> {record['run_id']}"
+        )
     report = {
         "schema": 1,
         "git_rev": git_rev,
@@ -527,6 +593,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "total_wall_clock_s": sum(c["wall_clock_s"] for c in cells),
         "cells": cells,
     }
+    if comparison is not None:
+        report["executor_comparison"] = comparison
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, sort_keys=True, indent=2)
         handle.write("\n")
@@ -613,6 +681,28 @@ def _cmd_compare_runs(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _experiment_runner(args: argparse.Namespace) -> Runner:
+    """Build the Runner a subcommand asked for: executor + result store.
+
+    ``--workers N`` swaps in the process-pool executor; ``--resume``
+    persists completed cells under ``<ledger>/cells/`` so a later
+    invocation warm-starts instead of re-simulating.  Subcommands
+    without those flags get the plain serial, memory-only runner.
+    """
+    workers = getattr(args, "workers", 1) or 1
+    store = None
+    if getattr(args, "resume", False):
+        ledger_dir = getattr(args, "ledger", None) or DEFAULT_LEDGER_DIR
+        store = ResultStore(os.path.join(ledger_dir, "cells"))
+    return Runner(
+        seed=args.seed,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+        executor=make_executor(workers),
+        store=store,
+    )
+
+
 def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
     from repro.experiments import figures
 
@@ -660,13 +750,18 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return _cmd_baseline(args)
     if args.command == "compare-runs":
         return _cmd_compare_runs(args)
-    runner = Runner(seed=args.seed, duration_ms=args.duration, warmup_ms=args.warmup)
+    runner = _experiment_runner(args)
 
     if args.command == "run":
         print(_cmd_run(args))
     elif args.command == "trace":
         print(_cmd_trace(args))
     elif args.command == "figure":
+        from repro.experiments import figures
+
+        # Plan → execute → render: declare the figure's cells and run
+        # them (possibly in parallel) before the renderer reads them.
+        runner.run_plan(figures.figure_demands(args.number, runner))
         print(_cmd_figure(args, runner))
         if args.number == "5":
             from repro.experiments.timeline import run_timeline
@@ -681,12 +776,14 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 print(run_timeline(result, window_ms=250.0, title=f"-- {spec} --"))
                 print()
     elif args.command == "table2":
-        from repro.experiments.tables import table2
+        from repro.experiments.tables import table2, table2_demands
 
+        runner.run_plan(table2_demands(runner))
         print(table2(runner)["text"])
     elif args.command == "summary":
-        from repro.experiments.figures import summary_overall
+        from repro.experiments.figures import summary_demands, summary_overall
 
+        runner.run_plan(summary_demands(runner))
         print(summary_overall(runner)["text"])
     elif args.command == "userstudy":
         from repro.experiments.userstudy import run_user_study
@@ -696,18 +793,26 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         print()
         print(study["fig15_text"])
     elif args.command == "matrix":
-        from repro.experiments.config import paper_configuration_matrix as matrix_fn
         from repro.experiments.export import records_to_csv
+        from repro.experiments.plan import matrix_demands
 
         runner.telemetry_dir = args.telemetry_dir
         if args.ledger:
             runner.attach_ledger(args.ledger)
-        records = []
-        for config in matrix_fn(include_ablation=args.ablation):
-            for bench in sorted(BENCHMARKS):
-                records.append(runner.run_cell(bench, config))
-        count = records_to_csv(records, args.output)
-        print(f"wrote {count} rows to {args.output}")
+        plan = matrix_demands(
+            benchmarks=sorted(args.benchmarks) if args.benchmarks else None,
+            groups=args.groups,
+            include_ablation=args.ablation,
+            seeds=(args.seed,),
+            duration_ms=args.duration,
+            warmup_ms=args.warmup,
+        )
+        report = runner.run_plan(plan)
+        count = records_to_csv(report.records(), args.output)
+        print(
+            f"wrote {count} rows to {args.output} "
+            f"(executed={report.executed} cached={report.cached})"
+        )
     elif args.command == "compare":
         from repro.analysis import paired_compare
         from repro.workloads import PLATFORMS as platforms

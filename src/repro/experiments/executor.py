@@ -1,0 +1,293 @@
+"""The execution layer: run a plan's cells, serially or in parallel.
+
+An executor takes a :class:`~repro.experiments.plan.Plan`, skips every
+cell the :class:`~repro.experiments.store.ResultStore` already holds,
+executes the missing ones, and returns an :class:`ExecutionReport` in
+plan order.  Two strategies ship:
+
+* :class:`SerialExecutor` — one cell after another, in-process; the
+  behaviour the old lazy ``Runner`` had, made explicit.
+* :class:`ParallelExecutor` — a stdlib
+  :class:`~concurrent.futures.ProcessPoolExecutor` fan-out
+  (``--workers N``).  Each worker runs the same deterministic
+  discrete-event simulation from the same :class:`CellSpec`, so the
+  records it returns are **bit-identical** to a serial run — cells
+  share no state, and every RNG stream is seeded from the spec alone.
+
+Results stream back in plan order (``ProcessPoolExecutor.map``): each
+finished cell is written through to the store and appended to the run
+ledger *as it completes*, so an interrupted parallel sweep still
+persists every finished cell, and ledger order matches the serial
+order exactly.
+
+The cell body (:func:`execute_cell`) is the single place a cell turns
+into numbers: it is what workers run, what the serial path runs, and
+what ``Runner.run_cell`` ultimately calls.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.experiments.plan import CellSpec, Plan
+from repro.experiments.record import ExperimentRecord, build_experiment_record
+from repro.experiments.store import ResultStore
+from repro.obs.ledger import RunLedger
+from repro.obs.probes import host_wallclock
+from repro.obs.runmeta import build_record
+from repro.pipeline import CloudSystem, SystemConfig
+from repro.regulators import make_regulator
+from repro.workloads import PLATFORMS, Resolution
+
+__all__ = [
+    "CellOutcome",
+    "ExecutionReport",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "execute_cell",
+    "make_executor",
+]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One plan cell after execution (or recall from the store)."""
+
+    spec: CellSpec
+    record: ExperimentRecord
+    #: The full ledger run record, when the cell executed with ledger
+    #: collection on; ``None`` for cached cells (already appended by
+    #: whichever run produced them).
+    ledger_record: Optional[Dict[str, Any]]
+    #: Host seconds this cell's simulation took (0.0 when cached).
+    wall_clock_s: float
+    #: ``True`` when the result came from the store, not an execution.
+    cached: bool
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """All outcomes of one executed plan, in plan order."""
+
+    outcomes: Tuple[CellOutcome, ...]
+
+    @property
+    def executed(self) -> int:
+        """Cells that actually simulated in this run."""
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def cached(self) -> int:
+        """Cells recalled from the result store."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def cell_seconds(self) -> float:
+        """Summed per-cell wall clock (CPU-time-like; overlaps in parallel)."""
+        return sum(o.wall_clock_s for o in self.outcomes)
+
+    def records(self) -> List[ExperimentRecord]:
+        return [o.record for o in self.outcomes]
+
+    def outcome_for(self, run_id: str) -> CellOutcome:
+        for outcome in self.outcomes:
+            if outcome.spec.run_id == run_id:
+                return outcome
+        raise KeyError(run_id)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.outcomes)} cell(s): executed={self.executed} "
+            f"cached={self.cached} cell_seconds={self.cell_seconds:.2f}"
+        )
+
+
+def execute_cell(
+    spec: CellSpec,
+    collect_ledger: bool = False,
+    telemetry_dir: Optional[str] = None,
+    git_rev: Optional[str] = None,
+) -> CellOutcome:
+    """Execute one cell: the deterministic unit both executors run.
+
+    Everything the simulation needs is derived from the plain-data
+    ``spec``, so this function is safe to ship to a worker process;
+    the returned outcome (record + optional ledger run record) is
+    likewise plain data.  ``git_rev`` is resolved by the caller once
+    per plan, not per cell (workers may not even be inside the repo).
+    """
+    combo_platform = PLATFORMS[spec.platform]
+    resolution = Resolution(spec.resolution)
+    regulator = make_regulator(spec.regulator)
+    sys_config = SystemConfig(
+        benchmark=spec.benchmark,
+        platform=combo_platform,
+        resolution=resolution,
+        seed=spec.seed,
+        duration_ms=spec.duration_ms,
+        warmup_ms=spec.warmup_ms,
+    )
+    telemetry = None
+    if telemetry_dir is not None or collect_ledger:
+        from repro.obs import Telemetry
+
+        # Ledger records need gate-delay statistics (telemetry) and
+        # events/sec (engine probe), so ledger collection forces both on.
+        telemetry = Telemetry(engine_probe=collect_ledger)
+    started = host_wallclock()
+    result = CloudSystem(sys_config, regulator, telemetry=telemetry).run()
+    wall_clock_s = host_wallclock() - started
+
+    ledger_record: Optional[Dict[str, Any]] = None
+    if collect_ledger:
+        ledger_record = build_record(
+            result,
+            spec.config_payload(),
+            label=spec.label,
+            wall_clock_s=wall_clock_s,
+            git_rev=git_rev,
+        )
+    if telemetry_dir is not None and telemetry is not None:
+        _persist_telemetry(telemetry, spec, telemetry_dir)
+
+    record = build_experiment_record(
+        result,
+        benchmark=spec.benchmark,
+        config_label=spec.experiment_config().label,
+        platform=combo_platform.name,
+        resolution=resolution.value,
+        regulator_name=regulator.name,
+        fps_target=regulator.fps_target,
+        qos_target=float(resolution.default_fps_target),
+    )
+    return CellOutcome(
+        spec=spec,
+        record=record,
+        ledger_record=ledger_record,
+        wall_clock_s=wall_clock_s,
+        cached=False,
+    )
+
+
+def _persist_telemetry(telemetry: Any, spec: CellSpec, telemetry_dir: str) -> None:
+    """Write one cell's Chrome trace + JSONL dump to ``telemetry_dir``."""
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    os.makedirs(telemetry_dir, exist_ok=True)
+    label = spec.experiment_config().label.replace("/", "-")
+    stem = os.path.join(telemetry_dir, f"{spec.benchmark}_{label}_s{spec.seed}")
+    write_chrome_trace(telemetry, stem + ".trace.json")
+    write_jsonl(telemetry, stem + ".jsonl")
+
+
+class SerialExecutor:
+    """Execute a plan's missing cells one after another, in-process."""
+
+    name = "serial"
+
+    def run(
+        self,
+        plan: Plan,
+        store: Optional[ResultStore] = None,
+        ledger: Optional[RunLedger] = None,
+        telemetry_dir: Optional[str] = None,
+        git_rev: Optional[str] = None,
+    ) -> ExecutionReport:
+        """Execute ``plan``; cached cells are recalled, the rest run.
+
+        Every freshly executed cell is written through to ``store``
+        (and appended to ``ledger``) the moment it completes, so an
+        interrupted sweep keeps everything finished so far.
+        """
+        store = store if store is not None else ResultStore()
+        outcomes: Dict[str, CellOutcome] = {}
+        missing: List[CellSpec] = []
+        for spec in plan:
+            record = store.get(spec.run_id)
+            if record is not None:
+                outcomes[spec.run_id] = CellOutcome(
+                    spec=spec,
+                    record=record,
+                    ledger_record=None,
+                    wall_clock_s=0.0,
+                    cached=True,
+                )
+            else:
+                missing.append(spec)
+        collect_ledger = ledger is not None
+        for outcome in self._execute(missing, collect_ledger, telemetry_dir, git_rev):
+            store.put(outcome.spec.run_id, outcome.record)
+            if ledger is not None and outcome.ledger_record is not None:
+                ledger.append(outcome.ledger_record)
+            outcomes[outcome.spec.run_id] = outcome
+        return ExecutionReport(
+            outcomes=tuple(outcomes[run_id] for run_id in plan.run_ids)
+        )
+
+    # -- strategy ----------------------------------------------------------
+
+    def _execute(
+        self,
+        specs: Sequence[CellSpec],
+        collect_ledger: bool,
+        telemetry_dir: Optional[str],
+        git_rev: Optional[str],
+    ) -> Iterator[CellOutcome]:
+        for spec in specs:
+            yield execute_cell(
+                spec,
+                collect_ledger=collect_ledger,
+                telemetry_dir=telemetry_dir,
+                git_rev=git_rev,
+            )
+
+
+class ParallelExecutor(SerialExecutor):
+    """Fan a plan's missing cells out over a process pool.
+
+    Workers execute :func:`execute_cell` on plain :class:`CellSpec`
+    payloads; results stream back in plan order, so store writes and
+    ledger appends happen incrementally and in the same order a serial
+    run would produce.  Output is bit-identical to
+    :class:`SerialExecutor` — the DES is deterministic in the spec.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def _execute(
+        self,
+        specs: Sequence[CellSpec],
+        collect_ledger: bool,
+        telemetry_dir: Optional[str],
+        git_rev: Optional[str],
+    ) -> Iterator[CellOutcome]:
+        workers = min(self.workers, len(specs))
+        if workers <= 1:
+            yield from super()._execute(specs, collect_ledger, telemetry_dir, git_rev)
+            return
+        run_one = partial(
+            execute_cell,
+            collect_ledger=collect_ledger,
+            telemetry_dir=telemetry_dir,
+            git_rev=git_rev,
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # ``map`` yields in submission (= plan) order while cells
+            # execute concurrently: at most head-of-line blocking.
+            yield from pool.map(run_one, specs)
+
+
+def make_executor(workers: int = 1) -> SerialExecutor:
+    """``workers <= 1`` → serial; otherwise a pool of ``workers``."""
+    if workers > 1:
+        return ParallelExecutor(workers)
+    return SerialExecutor()

@@ -1,6 +1,6 @@
 """CSV export of experiment records.
 
-Flattens :class:`~repro.experiments.runner.ExperimentRecord` objects —
+Flattens :class:`~repro.experiments.record.ExperimentRecord` objects —
 including their box statistics and hardware sub-reports — into one CSV
 row each, for analysis outside this library.
 """
@@ -11,7 +11,7 @@ import csv
 import io
 from typing import Iterable, List, Union
 
-from repro.experiments.runner import ExperimentRecord
+from repro.experiments.record import ExperimentRecord
 
 __all__ = ["EXPORT_FIELDS", "record_to_row", "records_to_csv"]
 

@@ -16,8 +16,10 @@ from repro.experiments.config import (
     platform_res_combos,
     regulator_specs_for,
 )
+from repro.experiments.plan import CellSpec, Plan
+from repro.experiments.record import ExperimentRecord
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentRecord, Runner
+from repro.experiments.runner import Runner
 from repro.metrics.stats import mean, percentile
 from repro.pipeline import CloudSystem, SystemConfig
 from repro.regulators import make_regulator
@@ -35,6 +37,8 @@ __all__ = [
     "fig11_mtp_detail",
     "fig12_memory_efficiency",
     "fig13_power",
+    "figure_demands",
+    "summary_demands",
     "summary_overall",
 ]
 
@@ -42,6 +46,58 @@ __all__ = [
 ANALYSIS_SPECS = ["NoReg", "Int60", "IntMax", "RVS60", "RVSMax"]
 
 _PRIV720 = PlatformRes(PRIVATE_CLOUD, Resolution.R720P)
+
+
+# ---------------------------------------------------------------------------
+# Demand declarations (the planning layer's view of every figure).
+# ---------------------------------------------------------------------------
+
+
+def _specs(runner: Runner, combo: PlatformRes, specs, benchmarks) -> List[CellSpec]:
+    return [
+        runner.spec_for(bench, ExperimentConfig(combo, spec))
+        for spec in specs
+        for bench in benchmarks
+    ]
+
+
+def figure_demands(number: str, runner: Runner) -> Plan:
+    """The cells figure ``number`` will read, as a deduplicated plan.
+
+    Pre-executing this plan (``runner.run_plan``) makes the renderer a
+    pure cache read — that is how ``odr-sim figure N --workers M``
+    parallelizes a figure.  Figures 4 and 5 drive raw systems rather
+    than matrix cells and return an empty plan.
+    """
+    plan = Plan()
+    if number == "1":
+        plan.extend(_specs(runner, _PRIV720, ["NoReg"], ["RE", "IM"]))
+    elif number in ("3", "6", "7"):
+        plan.extend(_specs(runner, _PRIV720, ANALYSIS_SPECS, ["IM"]))
+    elif number == "9":
+        for combo in platform_res_combos():
+            plan.extend(_specs(runner, combo, regulator_specs_for(combo), BENCHMARKS))
+    elif number in ("10", "11"):
+        combos = platform_res_combos()
+        for idx in _DETAIL_GROUPS:
+            combo = combos[idx]
+            plan.extend(_specs(runner, combo, regulator_specs_for(combo), BENCHMARKS))
+    elif number in ("12", "13"):
+        plan.extend(_specs(runner, _PRIV720, _EFFICIENCY_SPECS, BENCHMARKS))
+    elif number not in ("4", "5"):
+        raise ValueError(f"unknown figure {number!r}")
+    return plan
+
+
+def summary_demands(runner: Runner) -> Plan:
+    """Every cell :func:`summary_overall` aggregates (Sec. 6.6)."""
+    plan = Plan()
+    for combo in platform_res_combos():
+        plan.extend(_specs(runner, combo, regulator_specs_for(combo), BENCHMARKS))
+    # The 720p-private efficiency block only adds cells already demanded
+    # above; extend anyway so the plan stays correct if specs diverge.
+    plan.extend(_specs(runner, _PRIV720, ["NoReg", "ODRMax", "ODR60"], BENCHMARKS))
+    return plan
 
 
 def _analysis_cell(runner: Runner, spec: str, benchmark: str = "IM") -> ExperimentRecord:

@@ -1,92 +1,45 @@
-"""Run experiment cells and collect flat measurement records.
+"""Run experiment cells: a thin facade over the plan/execute/store core.
 
-:class:`Runner` executes (benchmark × configuration) cells, memoizing
-results so figure generators that share cells (most of them) do not
-re-simulate.  An :class:`ExperimentRecord` carries every number the
-paper reports for a run: per-stage FPS, FPS-gap statistics, MtP
-latency, windowed QoS satisfaction, DRAM/IPC/power, and bandwidth.
+:class:`Runner` is the compatibility surface the figures, tables, user
+study, and tests were written against.  Since the plan/execute split it
+no longer executes anything itself:
 
-With ``telemetry_dir`` set, every executed cell also runs under a
-:class:`repro.obs.Telemetry` and persists its full telemetry next to
-the CSV exports: a Chrome-trace JSON (Perfetto-loadable) and a JSONL
-dump per cell (see :mod:`repro.obs.exporters`).
+* :meth:`Runner.run_cell` wraps the cell in a plan-of-one and hands it
+  to the configured executor (:mod:`repro.experiments.executor`);
+* :meth:`Runner.run_plan` executes a whole
+  :class:`~repro.experiments.plan.Plan` at once — the entry point the
+  CLI uses to pre-execute a figure/table/matrix sweep, in parallel
+  with ``--workers N``;
+* results live in a :class:`~repro.experiments.store.ResultStore`
+  keyed by the ledger's content-addressed ``run_id`` (benchmark,
+  platform, resolution, regulator, **duration, warmup**, seed), so
+  cells are shared across consumers, across processes, and — with a
+  persistent store (``--resume``) — across invocations.
 
-With a ``ledger`` (or ``ledger_dir``) attached, every executed cell
-additionally appends a self-describing run record — config hash, git
-revision, seed, summary metrics, per-frame distributions, engine
-statistics, wall-clock cost — to the append-only run ledger
-(:mod:`repro.obs.ledger`), the store the regression sentinel compares
-against.  Ledger runs always collect telemetry with an engine probe:
-the record needs gate-delay statistics and events/sec.
+With ``telemetry_dir`` set, every executed cell persists a Chrome
+trace and a JSONL dump; with a ``ledger`` (or ledger directory)
+attached, every executed cell appends its self-describing run record
+to the append-only run ledger (:mod:`repro.obs.ledger`).
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.experiments.config import ExperimentConfig, PlatformRes
-from repro.hardware import HardwareReport, evaluate_hardware
-from repro.metrics import BoxStats
+from repro.experiments.executor import ExecutionReport, SerialExecutor
+from repro.experiments.plan import CellSpec, Plan
+from repro.experiments.record import ExperimentRecord
+from repro.experiments.store import ResultStore
 from repro.obs.ledger import RunLedger
-from repro.obs.probes import host_wallclock
-from repro.obs.runmeta import build_record, git_revision
-from repro.pipeline import CloudSystem, SystemConfig
-from repro.regulators import make_regulator
+from repro.obs.runmeta import git_revision
 from repro.workloads import BENCHMARKS
 
 __all__ = ["ExperimentRecord", "Runner"]
 
 
-@dataclass(frozen=True)
-class ExperimentRecord:
-    """All measurements of one (benchmark, configuration, seed) run."""
-
-    benchmark: str
-    config_label: str
-    platform: str
-    resolution: str
-    regulator: str
-    fps_target: Optional[float]
-
-    render_fps: float
-    encode_fps: float
-    client_fps: float
-    client_fps_box: BoxStats
-    fps_gap_mean: float
-    fps_gap_max: float
-
-    mtp_mean_ms: Optional[float]
-    mtp_box: Optional[BoxStats]
-
-    qos_target: float
-    qos_satisfaction: float
-
-    hardware: HardwareReport
-    bandwidth_mbps: float
-    frames_rendered: int
-    frames_dropped: int
-
-    @property
-    def power_w(self) -> float:
-        return self.hardware.power.total_w
-
-    @property
-    def ipc(self) -> float:
-        return self.hardware.ipc
-
-    @property
-    def row_miss_rate(self) -> float:
-        return self.hardware.dram.row_miss_rate
-
-    @property
-    def read_access_ns(self) -> float:
-        return self.hardware.dram.read_access_ns
-
-
 class Runner:
-    """Memoizing executor for the evaluation matrix."""
+    """Plan-of-one facade over the executor + result-store core."""
 
     def __init__(
         self,
@@ -95,6 +48,8 @@ class Runner:
         warmup_ms: float = 3000.0,
         telemetry_dir: Optional[str] = None,
         ledger: Optional[Union[RunLedger, str]] = None,
+        executor: Optional[SerialExecutor] = None,
+        store: Optional[ResultStore] = None,
     ):
         self.seed = seed
         self.duration_ms = duration_ms
@@ -102,13 +57,19 @@ class Runner:
         #: When set, each executed cell persists a Chrome trace and a
         #: JSONL telemetry dump into this directory.
         self.telemetry_dir = telemetry_dir
+        #: Execution strategy; defaults to serial.  Pass
+        #: :class:`~repro.experiments.executor.ParallelExecutor` to fan
+        #: plans out over a process pool.
+        self.executor = executor if executor is not None else SerialExecutor()
+        #: Completed cells, keyed by content-addressed run_id.  A store
+        #: with a ``persist_dir`` survives across invocations (resume).
+        self.store = store if store is not None else ResultStore()
         #: When set, each executed cell appends a run record here.  A
         #: string is taken as the ledger directory.
         self.ledger: Optional[RunLedger] = None
         self._git_rev: Optional[str] = None
         if ledger is not None:
             self.attach_ledger(ledger)
-        self._cache: Dict[Tuple[str, str, int], ExperimentRecord] = {}
 
     def attach_ledger(self, ledger: Union[RunLedger, str]) -> RunLedger:
         """Start appending every executed cell's run record to ``ledger``."""
@@ -116,109 +77,57 @@ class Runner:
         self._git_rev = git_revision()
         return self.ledger
 
+    def spec_for(
+        self, benchmark: str, config: ExperimentConfig, seed: Optional[int] = None
+    ) -> CellSpec:
+        """The :class:`CellSpec` this runner would execute for a cell."""
+        return CellSpec.from_config(
+            benchmark,
+            config,
+            seed=self.seed if seed is None else seed,
+            duration_ms=self.duration_ms,
+            warmup_ms=self.warmup_ms,
+        )
+
+    def run_plan(self, plan: Plan) -> ExecutionReport:
+        """Execute every cell of ``plan`` not already in the store."""
+        return self.executor.run(
+            plan,
+            store=self.store,
+            ledger=self.ledger,
+            telemetry_dir=self.telemetry_dir,
+            git_rev=self._git_rev,
+        )
+
     def run_cell(
         self, benchmark: str, config: ExperimentConfig, seed: Optional[int] = None
     ) -> ExperimentRecord:
         """Run (or recall) one benchmark × configuration cell."""
-        seed = self.seed if seed is None else seed
-        key = (benchmark, config.label, seed)
-        if key not in self._cache:
-            self._cache[key] = self._execute(benchmark, config, seed)
-        return self._cache[key]
+        spec = self.spec_for(benchmark, config, seed)
+        report = self.run_plan(Plan([spec]))
+        return report.outcomes[0].record
 
     def run_group(
         self,
         combo: PlatformRes,
         specs: Iterable[str],
         benchmarks: Optional[Iterable[str]] = None,
+        seeds: Optional[Sequence[int]] = None,
     ) -> List[ExperimentRecord]:
-        """Run a platform-resolution group across benchmarks and specs."""
-        benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
-        records = []
-        for spec in specs:
-            for bench in benchmarks:
-                records.append(self.run_cell(bench, ExperimentConfig(combo, spec)))
-        return records
+        """Run a platform-resolution group across benchmarks and specs.
 
-    # -- internals ---------------------------------------------------------
-
-    def _execute(self, benchmark: str, config: ExperimentConfig, seed: int) -> ExperimentRecord:
-        combo = config.platform_res
-        regulator = make_regulator(config.regulator_spec)
-        sys_config = SystemConfig(
-            benchmark=benchmark,
-            platform=combo.platform,
-            resolution=combo.resolution,
-            seed=seed,
-            duration_ms=self.duration_ms,
-            warmup_ms=self.warmup_ms,
-        )
-        telemetry = None
-        if self.telemetry_dir is not None or self.ledger is not None:
-            from repro.obs import Telemetry
-
-            # Ledger records need gate-delay statistics (telemetry) and
-            # events/sec (engine probe), so a ledger forces both on.
-            telemetry = Telemetry(engine_probe=self.ledger is not None)
-        started = host_wallclock() if self.ledger is not None else None
-        result = CloudSystem(sys_config, regulator, telemetry=telemetry).run()
-        if self.ledger is not None and started is not None:
-            record = build_record(
-                result,
-                {
-                    "benchmark": benchmark,
-                    "platform": combo.platform.name,
-                    "resolution": combo.resolution.value,
-                    "regulator": config.regulator_spec,
-                    "duration_ms": self.duration_ms,
-                    "warmup_ms": self.warmup_ms,
-                },
-                label=f"{benchmark}/{config.label}",
-                wall_clock_s=host_wallclock() - started,
-                git_rev=self._git_rev,
-            )
-            self.ledger.append(record)
-        if self.telemetry_dir is not None and telemetry is not None:
-            self._persist_telemetry(telemetry, benchmark, config, seed)
-
-        gap = result.fps_gap()
-        mtp_samples = result.mtp_samples()
-        mtp_mean = sum(mtp_samples) / len(mtp_samples) if mtp_samples else None
-        mtp_box = result.mtp_box() if mtp_samples else None
-        qos_target = float(combo.fixed_target)
-        qos = result.qos(qos_target)
-
-        return ExperimentRecord(
-            benchmark=benchmark,
-            config_label=config.label,
-            platform=combo.platform.name,
-            resolution=combo.resolution.value,
-            regulator=regulator.name,
-            fps_target=regulator.fps_target,
-            render_fps=result.render_fps,
-            encode_fps=result.encode_fps,
-            client_fps=result.client_fps,
-            client_fps_box=result.client_fps_box(),
-            fps_gap_mean=gap.mean_gap,
-            fps_gap_max=gap.max_gap,
-            mtp_mean_ms=mtp_mean,
-            mtp_box=mtp_box,
-            qos_target=qos_target,
-            qos_satisfaction=qos.satisfaction if qos.n_windows else 0.0,
-            hardware=evaluate_hardware(result),
-            bandwidth_mbps=result.bandwidth_mbps(),
-            frames_rendered=result.frames_rendered(),
-            frames_dropped=len(result.dropped_frames()),
-        )
-
-    def _persist_telemetry(
-        self, telemetry, benchmark: str, config: ExperimentConfig, seed: int
-    ) -> None:
-        """Write one cell's Chrome trace + JSONL dump to telemetry_dir."""
-        from repro.obs import write_chrome_trace, write_jsonl
-
-        os.makedirs(self.telemetry_dir, exist_ok=True)
-        label = config.label.replace("/", "-")
-        stem = os.path.join(self.telemetry_dir, f"{benchmark}_{label}_s{seed}")
-        write_chrome_trace(telemetry, stem + ".trace.json")
-        write_jsonl(telemetry, stem + ".jsonl")
+        ``seeds`` sweeps every cell across multiple seeds (in order);
+        by default only the runner's own seed runs, as before.
+        """
+        names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
+        seed_list: Sequence[int] = seeds if seeds is not None else (self.seed,)
+        cells = [
+            self.spec_for(bench, ExperimentConfig(combo, spec), seed)
+            for spec in specs
+            for bench in names
+            for seed in seed_list
+        ]
+        plan = Plan(cells)
+        report = self.run_plan(plan)
+        by_id = {o.spec.run_id: o.record for o in report.outcomes}
+        return [by_id[cell.run_id] for cell in cells]

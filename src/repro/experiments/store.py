@@ -1,0 +1,134 @@
+"""The result-store layer: completed cells, keyed by content address.
+
+A :class:`ResultStore` maps a cell's ``run_id`` — the ledger's
+content-addressed hash over the canonical ``(config, seed)`` payload
+(:func:`repro.obs.runmeta.run_id_for`) — to its finished
+:class:`~repro.experiments.record.ExperimentRecord`.  It is the cache
+every executor checks before running a cell, in two tiers:
+
+* **in-memory** — always on; figures that share cells (most of them)
+  reuse the same record object within one process, exactly like the
+  old ``Runner._cache`` but keyed correctly (the run_id covers
+  duration/warmup, which the old ``(benchmark, label, seed)`` key
+  silently dropped);
+* **on-disk** (opt-in via ``persist_dir``) — each completed cell is
+  written through to ``<persist_dir>/<run_id>.json`` as it finishes,
+  so a *different* process (a pool worker's parent, a later
+  invocation) warm-starts from it.  ``odr-sim matrix --resume`` points
+  this at ``<ledger>/cells/``: re-running after an interrupted sweep
+  executes only the missing cells.
+
+Persisted results are only as fresh as the code that produced them —
+the run_id hashes the configuration, not the simulator.  Resume is
+therefore opt-in, and :meth:`ResultStore.invalidate` clears a stale
+cell (the ledger's append-only history is the durable record; the
+store is a cache).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.experiments.record import (
+    RECORD_DICT_SCHEMA,
+    ExperimentRecord,
+    record_as_dict,
+    record_from_dict,
+)
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Two-tier (memory + optional JSON-file) cache of finished cells."""
+
+    def __init__(self, persist_dir: Optional[Union[str, Path]] = None) -> None:
+        self._memory: Dict[str, ExperimentRecord] = {}
+        self.persist_dir: Optional[Path] = Path(persist_dir) if persist_dir else None
+        #: Lookup accounting, reset with :meth:`reset_stats`.
+        self.hits = 0
+        self.misses = 0
+
+    def cell_path(self, run_id: str) -> Optional[Path]:
+        """Where ``run_id`` persists, or ``None`` for a memory-only store."""
+        if self.persist_dir is None:
+            return None
+        return self.persist_dir / f"{run_id}.json"
+
+    def get(self, run_id: str) -> Optional[ExperimentRecord]:
+        """The stored record for ``run_id``, or ``None`` (counted as a miss)."""
+        record = self._memory.get(run_id)
+        if record is None:
+            record = self._load(run_id)
+            if record is not None:
+                self._memory[run_id] = record
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, run_id: str, record: ExperimentRecord) -> None:
+        """Store a finished cell (written through to disk if persistent)."""
+        self._memory[run_id] = record
+        path = self.cell_path(run_id)
+        if path is None:
+            return
+        os.makedirs(path.parent, exist_ok=True)
+        payload = {
+            "schema": RECORD_DICT_SCHEMA,
+            "run_id": run_id,
+            "record": record_as_dict(record),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def invalidate(self, run_id: str) -> None:
+        """Forget one cell (memory and disk)."""
+        self._memory.pop(run_id, None)
+        path = self.cell_path(run_id)
+        if path is not None and path.exists():
+            path.unlink()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, run_id: object) -> bool:
+        if not isinstance(run_id, str):
+            return False
+        if run_id in self._memory:
+            return True
+        path = self.cell_path(run_id)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        """Cells resident in memory (disk cells load lazily on ``get``)."""
+        return len(self._memory)
+
+    # -- internals ---------------------------------------------------------
+
+    def _load(self, run_id: str) -> Optional[ExperimentRecord]:
+        path = self.cell_path(run_id)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("schema") != RECORD_DICT_SCHEMA:
+                return None
+            if payload.get("run_id") != run_id:
+                return None
+            return record_from_dict(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # A torn or stale cell file is a cache miss, never an error:
+            # the executor simply re-runs the cell and overwrites it.
+            return None

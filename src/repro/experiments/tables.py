@@ -12,11 +12,12 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.experiments.config import ExperimentConfig, PlatformRes, platform_res_combos
+from repro.experiments.plan import Plan
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.workloads import BENCHMARKS
 
-__all__ = ["Table2Row", "table2"]
+__all__ = ["Table2Row", "table2", "table2_demands"]
 
 #: Table 2's row order.  Fixed-target rows use the group's native target.
 _ROW_SPECS = [
@@ -46,6 +47,18 @@ def _table2_groups() -> List[PlatformRes]:
     """The three groups the paper tabulates (720p private, 720p/1080p GCE)."""
     combos = platform_res_combos()
     return [combos[0], combos[1], combos[3]]
+
+
+def table2_demands(runner: Runner) -> Plan:
+    """Every cell Table 2 reads: 3 groups × 8 rows × 6 benchmarks."""
+    plan = Plan()
+    for combo in _table2_groups():
+        target = combo.fixed_target
+        for spec_template in _ROW_SPECS:
+            spec = spec_template.format(t=target)
+            for bench in BENCHMARKS:
+                plan.add(runner.spec_for(bench, ExperimentConfig(combo, spec)))
+    return plan
 
 
 def table2(runner: Runner) -> Dict[str, object]:

@@ -26,7 +26,8 @@ from typing import Dict, List
 
 from repro.experiments.config import ExperimentConfig, PlatformRes
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentRecord, Runner
+from repro.experiments.record import ExperimentRecord
+from repro.experiments.runner import Runner
 from repro.metrics.stats import mean
 from repro.simcore import SeededRng
 from repro.workloads import BENCHMARKS, GCE, Resolution

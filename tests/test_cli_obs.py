@@ -75,7 +75,8 @@ class TestBenchAndLedgerVerbs:
         bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))
         out = run_cli(capsys, "runs", "--ledger", ledger_dir)
         assert "2 record(s)" in out
-        assert "IM/NoReg" in out and "IM/ODR60" in out
+        # Labels carry the platform-resolution group since the plan/execute split.
+        assert "IM/Priv720p/NoReg" in out and "IM/Priv720p/ODR60" in out
 
     def test_runs_on_empty_ledger(self, capsys, ledger_dir):
         out = run_cli(capsys, "runs", "--ledger", ledger_dir)
@@ -87,7 +88,7 @@ class TestBenchAndLedgerVerbs:
         out = run_cli(capsys, "baseline", "latest", "--ledger", ledger_dir)
         assert "pinned" in out
         out = run_cli(capsys, "baseline", "--ledger", ledger_dir)
-        assert "IM/ODR60" in out
+        assert "IM/Priv720p/ODR60" in out
 
     def test_compare_runs_same_cell_ok(self, capsys, ledger_dir, tmp_path):
         bench_fast(capsys, ledger_dir, str(tmp_path / "b.json"))

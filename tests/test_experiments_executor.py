@@ -1,0 +1,237 @@
+"""Tests for the execution layer: serial/parallel equivalence and resume.
+
+The headline guarantee of the plan/execute split: a plan executed by
+``ParallelExecutor`` yields **bit-identical** results to a serial run
+(same ``ExperimentRecord``s, same ledger ``metrics_digest``s, same
+append order), and a persistent :class:`ResultStore` warm-starts later
+invocations so only missing cells execute.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.determinism import fingerprint_run
+from repro.experiments import (
+    CellSpec,
+    ParallelExecutor,
+    Plan,
+    ResultStore,
+    Runner,
+    SerialExecutor,
+    execute_cell,
+    make_executor,
+)
+from repro.obs.ledger import RunLedger
+from repro.obs.runmeta import metrics_digest
+
+DURATION_MS = 2000.0
+WARMUP_MS = 500.0
+
+
+def spec(benchmark="IM", regulator="ODR60", seed=1) -> CellSpec:
+    return CellSpec(
+        benchmark=benchmark,
+        platform="private",
+        resolution="720p",
+        regulator=regulator,
+        seed=seed,
+        duration_ms=DURATION_MS,
+        warmup_ms=WARMUP_MS,
+    )
+
+
+def four_cell_plan() -> Plan:
+    return Plan(
+        [
+            spec("IM", "ODR60"),
+            spec("RE", "NoReg"),
+            spec("STK", "Int60"),
+            spec("IM", "ODR60", seed=2),
+        ]
+    )
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        serial_dir = tmp_path_factory.mktemp("ledger-serial")
+        parallel_dir = tmp_path_factory.mktemp("ledger-parallel")
+        serial_ledger = RunLedger(serial_dir)
+        parallel_ledger = RunLedger(parallel_dir)
+        serial = SerialExecutor().run(
+            four_cell_plan(), store=ResultStore(), ledger=serial_ledger
+        )
+        parallel = ParallelExecutor(workers=4).run(
+            four_cell_plan(), store=ResultStore(), ledger=parallel_ledger
+        )
+        return serial, parallel, serial_ledger, parallel_ledger
+
+    def test_records_bit_identical(self, runs):
+        serial, parallel, _, _ = runs
+        assert len(serial.outcomes) == len(parallel.outcomes) == 4
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert a.spec == b.spec
+            # Frozen dataclasses all the way down: == is field-by-field
+            # bit equality, including box stats and hardware reports.
+            assert a.record == b.record
+
+    def test_ledger_digests_identical(self, runs):
+        """The PR 2 determinism contract, re-stated for the pool: the
+        measured content of every ledger record (metrics + series,
+        wall clock excluded) must hash identically."""
+        _, _, serial_ledger, parallel_ledger = runs
+        serial_records = serial_ledger.records()
+        parallel_records = parallel_ledger.records()
+        assert len(serial_records) == len(parallel_records) == 4
+        for a, b in zip(serial_records, parallel_records):
+            assert a["run_id"] == b["run_id"]
+            assert metrics_digest(a) == metrics_digest(b)
+
+    def test_ledger_append_order_matches_plan(self, runs):
+        _, _, serial_ledger, parallel_ledger = runs
+        plan_ids = list(four_cell_plan().run_ids)
+        assert [r["run_id"] for r in serial_ledger.records()] == plan_ids
+        assert [r["run_id"] for r in parallel_ledger.records()] == plan_ids
+
+    def test_all_cells_executed_not_cached(self, runs):
+        serial, parallel, _, _ = runs
+        assert serial.executed == parallel.executed == 4
+        assert serial.cached == parallel.cached == 0
+
+
+class TestScheduleDeterminismAcrossProcesses:
+    def test_pool_worker_schedule_matches_in_process(self):
+        """Reuse the determinism verifier: the full event-schedule
+        fingerprint (not just final metrics) must match between an
+        in-process run and the same run inside a pool worker."""
+        local = fingerprint_run(seed=1, duration_ms=1500.0, warmup_ms=300.0)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(
+                fingerprint_run, seed=1, duration_ms=1500.0, warmup_ms=300.0
+            ).result()
+        assert local.digest == remote.digest
+        assert local.events_fired == remote.events_fired
+
+
+class TestResultStore:
+    def test_hit_miss_accounting(self):
+        store = ResultStore()
+        outcome = execute_cell(spec())
+        assert store.get(outcome.spec.run_id) is None
+        assert (store.hits, store.misses) == (0, 1)
+        store.put(outcome.spec.run_id, outcome.record)
+        assert store.get(outcome.spec.run_id) == outcome.record
+        assert (store.hits, store.misses) == (1, 1)
+        store.reset_stats()
+        assert (store.hits, store.misses) == (0, 0)
+
+    def test_persistent_round_trip(self, tmp_path):
+        outcome = execute_cell(spec())
+        writer = ResultStore(tmp_path)
+        writer.put(outcome.spec.run_id, outcome.record)
+        # A different process would build a fresh store over the same dir.
+        reader = ResultStore(tmp_path)
+        assert outcome.spec.run_id in reader
+        assert reader.get(outcome.spec.run_id) == outcome.record
+
+    def test_torn_cell_file_is_a_miss(self, tmp_path):
+        outcome = execute_cell(spec())
+        store = ResultStore(tmp_path)
+        store.put(outcome.spec.run_id, outcome.record)
+        path = store.cell_path(outcome.spec.run_id)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert ResultStore(tmp_path).get(outcome.spec.run_id) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        outcome = execute_cell(spec())
+        store = ResultStore(tmp_path)
+        store.put(outcome.spec.run_id, outcome.record)
+        path = store.cell_path(outcome.spec.run_id)
+        payload = json.loads(path.read_text())
+        payload["schema"] = -1
+        path.write_text(json.dumps(payload))
+        assert ResultStore(tmp_path).get(outcome.spec.run_id) is None
+
+    def test_invalidate_clears_disk(self, tmp_path):
+        outcome = execute_cell(spec())
+        store = ResultStore(tmp_path)
+        store.put(outcome.spec.run_id, outcome.record)
+        store.invalidate(outcome.spec.run_id)
+        assert outcome.spec.run_id not in store
+        assert not store.cell_path(outcome.spec.run_id).exists()
+
+
+class TestWarmStart:
+    def test_rerun_executes_nothing(self, tmp_path):
+        plan = Plan([spec("IM", "ODR60"), spec("IM", "NoReg")])
+        first = SerialExecutor().run(plan, store=ResultStore(tmp_path))
+        assert (first.executed, first.cached) == (2, 0)
+        # Fresh store over the same persist dir = a later invocation.
+        second = SerialExecutor().run(plan, store=ResultStore(tmp_path))
+        assert (second.executed, second.cached) == (0, 2)
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert a.record == b.record
+
+    def test_interrupted_sweep_resumes_missing_only(self, tmp_path):
+        full = Plan([spec("IM", "ODR60"), spec("IM", "NoReg"), spec("IM", "Int60")])
+        subset = Plan(list(full.specs)[:2])
+        SerialExecutor().run(subset, store=ResultStore(tmp_path))
+        resumed = SerialExecutor().run(full, store=ResultStore(tmp_path))
+        assert (resumed.executed, resumed.cached) == (1, 2)
+        executed_ids = {o.spec.run_id for o in resumed.outcomes if not o.cached}
+        assert executed_ids == {full.specs[2].run_id}
+
+    def test_cached_cells_skip_ledger(self, tmp_path):
+        plan = Plan([spec()])
+        ledger = RunLedger(tmp_path / "ledger")
+        SerialExecutor().run(plan, store=ResultStore(tmp_path / "cells"), ledger=ledger)
+        SerialExecutor().run(plan, store=ResultStore(tmp_path / "cells"), ledger=ledger)
+        assert len(ledger.records()) == 1
+
+
+class TestRunnerFacade:
+    def test_run_cell_memoizes_same_object(self):
+        runner = Runner(seed=1, duration_ms=DURATION_MS, warmup_ms=WARMUP_MS)
+        config = spec().experiment_config()
+        first = runner.run_cell("IM", config)
+        assert runner.run_cell("IM", config) is first
+
+    def test_run_group_seeds(self):
+        runner = Runner(seed=1, duration_ms=DURATION_MS, warmup_ms=WARMUP_MS)
+        combo = spec().experiment_config().platform_res
+        records = runner.run_group(
+            combo, ["ODR60"], benchmarks=["IM"], seeds=(1, 2)
+        )
+        assert len(records) == 2
+        assert records[0] != records[1]
+        # Seed 1's cell is the runner's own cell: recalled, not re-run.
+        assert runner.run_cell("IM", spec().experiment_config()) is records[0]
+
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        pool = make_executor(3)
+        assert isinstance(pool, ParallelExecutor)
+        assert pool.workers == 3
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+
+class TestCliResume:
+    def test_matrix_resume_skips_executed_cells(self, tmp_path, capsys):
+        argv = [
+            "--duration", "2000", "--warmup", "500",
+            "matrix", str(tmp_path / "matrix.csv"),
+            "--ledger", str(tmp_path / "ledger"),
+            "--benchmarks", "IM",
+            "--groups", "Priv720p",
+            "--resume",
+        ]
+        assert main(list(argv)) == 0
+        first = capsys.readouterr().out
+        assert "executed=7 cached=0" in first
+        assert main(list(argv)) == 0
+        second = capsys.readouterr().out
+        assert "executed=0 cached=7" in second
