@@ -17,6 +17,8 @@ Sweep-shaped subcommands (``figure``, ``table2``, ``summary``,
 next invocation); ``matrix`` additionally takes ``--benchmarks`` /
 ``--groups`` to run a reduced matrix.  Remaining subcommands::
 
+    chaos       fault-injection chaos sweep: catalog fault classes ×
+                regulator groups, scored into a resilience table
     compare     paired multi-seed comparison of two regulators
     consolidate multi-tenant sessions-per-server sweep
     breakdown   decompose MtP latency by pipeline component
@@ -44,9 +46,10 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.config import paper_configuration_matrix, platform_res_combos
-from repro.experiments.executor import make_executor
+from repro.experiments.executor import ExecutionError, make_executor
 from repro.experiments.runner import Runner
 from repro.experiments.store import ResultStore
+from repro.faults.catalog import build_fault_plan, fault_class_names
 from repro.obs.ledger import DEFAULT_LEDGER_DIR
 from repro.pipeline import CloudSystem, SystemConfig
 from repro.regulators import make_regulator
@@ -66,6 +69,23 @@ def _add_exec_args(sub: argparse.ArgumentParser) -> None:
         help="persist completed cells under the ledger directory's cells/ "
              "store and reuse them across invocations (warm start)",
     )
+    sub.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="fail any cell whose result takes longer than S seconds "
+             "(parallel executor only)",
+    )
+
+
+def _csv_items(values: List[str]) -> List[str]:
+    """Flatten ``nargs`` tokens, splitting comma-separated ones.
+
+    Lets list options take either form: ``--benchmarks STK IM`` or
+    ``--benchmarks STK,IM``.
+    """
+    items: List[str] = []
+    for value in values:
+        items.extend(part for part in value.split(",") if part)
+    return items
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -155,6 +175,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_exec_args(matrix)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection chaos sweep: fault classes x regulators, "
+             "scored into a resilience table",
+    )
+    chaos.add_argument(
+        "--benchmarks", nargs="+", default=["STK", "IM"],
+        help="benchmarks to disturb (space- or comma-separated)",
+    )
+    chaos.add_argument(
+        "--groups", nargs="+", default=["NoReg", "Int60", "ODR60"],
+        help="regulator specs to contrast (space- or comma-separated)",
+    )
+    chaos.add_argument(
+        "--faults", nargs="+", default=None, metavar="CLASS",
+        help="fault classes to inject (default: the whole catalog: "
+             + ", ".join(fault_class_names()) + ")",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=[1], help="seeds per cell"
+    )
+    chaos.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
+    chaos.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+    chaos.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the fault-free contrast cells",
+    )
+    chaos.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                       help="run-ledger directory")
+    chaos.add_argument(
+        "-o", "--output", default="CHAOS_report.json",
+        help="machine-readable resilience report path",
+    )
+    _add_exec_args(chaos)
+
     compare = sub.add_parser(
         "compare", help="paired multi-seed comparison of two regulators"
     )
@@ -217,6 +274,11 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--platform", choices=sorted(PLATFORMS), default="private")
     verify.add_argument(
         "--resolution", choices=[r.value for r in Resolution], default="720p"
+    )
+    verify.add_argument(
+        "--fault-class", choices=fault_class_names(), default=None,
+        help="inject this catalog fault class into both runs (the fault "
+             "machinery must be deterministic too)",
     )
 
     profile = sub.add_parser(
@@ -431,6 +493,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_verify_determinism(args: argparse.Namespace) -> int:
     from repro.devtools.determinism import verify_determinism
 
+    fault_plan = None
+    if args.fault_class:
+        fault_plan = build_fault_plan(args.fault_class, args.duration, args.warmup)
     report = verify_determinism(
         seed=args.seed,
         benchmark=args.benchmark,
@@ -439,8 +504,83 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
         resolution=args.resolution,
         duration_ms=args.duration,
         warmup_ms=args.warmup,
+        fault_plan=fault_plan,
     )
+    if args.fault_class:
+        print(f"fault class: {args.fault_class}")
     print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """The chaos sweep: catalog fault classes × regulator groups.
+
+    Cells execute through the same plan/store/ledger core as every
+    other sweep — ``--resume`` warm-starts from ``<ledger>/cells/``,
+    ``--workers``/``--cell-timeout`` harden the fan-out — and the
+    aggregated resilience table lands on stdout plus a JSON report.
+    Failed cells are enumerated on stderr and exit non-zero; a
+    follow-up ``--resume`` run executes only what is missing.
+    """
+    import json
+
+    from repro.experiments.chaos import (
+        chaos_demands,
+        render_resilience,
+        resilience_payload,
+        resilience_rows,
+    )
+    from repro.obs import RunLedger, git_revision
+
+    benchmarks = _csv_items(args.benchmarks)
+    regulators = _csv_items(args.groups)
+    unknown = sorted(set(benchmarks) - set(BENCHMARKS))
+    if unknown:
+        print(f"chaos: unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    fault_classes = _csv_items(args.faults) if args.faults else None
+    if fault_classes:
+        bad = sorted(set(fault_classes) - set(fault_class_names()))
+        if bad:
+            print(f"chaos: unknown fault class(es): {', '.join(bad)}", file=sys.stderr)
+            return 2
+
+    plan = chaos_demands(
+        benchmarks=benchmarks,
+        regulators=regulators,
+        fault_classes=fault_classes,
+        seeds=args.seeds,
+        platform=args.platform,
+        resolution=args.resolution,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+        include_baseline=not args.no_baseline,
+    )
+    store = ResultStore(os.path.join(args.ledger, "cells")) if args.resume else None
+    executor = make_executor(args.workers, cell_timeout_s=args.cell_timeout)
+    ledger = RunLedger(args.ledger)
+    report = executor.run(plan, store=store, ledger=ledger, git_rev=git_revision())
+
+    rows = resilience_rows(report.outcomes)
+    print(render_resilience(rows))
+    print(f"chaos: {report.describe()}; ledger at {ledger.path}")
+    for failure in report.failures:
+        print(
+            f"chaos: FAILED {failure.spec.label} ({failure.spec.run_id}) "
+            f"after {failure.attempts} attempt(s): {failure.error}",
+            file=sys.stderr,
+        )
+
+    payload = resilience_payload(rows)
+    payload["git_rev"] = git_revision()
+    payload["duration_ms"] = args.duration
+    payload["warmup_ms"] = args.warmup
+    payload["seeds"] = list(args.seeds)
+    payload["failed_cells"] = [f.spec.run_id for f in report.failures]
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    print(f"chaos: wrote resilience report to {args.output}")
     return 0 if report.ok else 1
 
 
@@ -698,7 +838,9 @@ def _experiment_runner(args: argparse.Namespace) -> Runner:
         seed=args.seed,
         duration_ms=args.duration,
         warmup_ms=args.warmup,
-        executor=make_executor(workers),
+        executor=make_executor(
+            workers, cell_timeout_s=getattr(args, "cell_timeout", None)
+        ),
         store=store,
     )
 
@@ -725,6 +867,11 @@ def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _dispatch(argv)
+    except ExecutionError as exc:
+        # A sweep finished with failed cells: everything completed is
+        # already persisted; report the casualties and exit non-zero.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:  # pragma: no cover - consumer closed the pipe
         # e.g. ``odr-sim runs | head``: point stdout at devnull so the
         # interpreter's exit-time flush does not raise a second time.
@@ -750,6 +897,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return _cmd_baseline(args)
     if args.command == "compare-runs":
         return _cmd_compare_runs(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     runner = _experiment_runner(args)
 
     if args.command == "run":
@@ -807,12 +956,19 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             duration_ms=args.duration,
             warmup_ms=args.warmup,
         )
-        report = runner.run_plan(plan)
+        report = runner.run_plan(plan, allow_failures=True)
         count = records_to_csv(report.records(), args.output)
         print(
             f"wrote {count} rows to {args.output} "
             f"(executed={report.executed} cached={report.cached})"
         )
+        if report.failures:
+            for failure in report.failures:
+                print(
+                    f"matrix: FAILED {failure.spec.label}: {failure.error}",
+                    file=sys.stderr,
+                )
+            return 1
     elif args.command == "compare":
         from repro.analysis import paired_compare
         from repro.workloads import PLATFORMS as platforms

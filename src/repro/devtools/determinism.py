@@ -23,10 +23,13 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.obs.probes import EngineProbe
 from repro.obs.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.spec import FaultPlan
 
 __all__ = [
     "DeterminismReport",
@@ -131,6 +134,7 @@ def fingerprint_run(
     warmup_ms: float = 500.0,
     mutate: Optional[Callable[[object, int], None]] = None,
     run_index: int = 0,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> RunFingerprint:
     """Run one scenario and return its schedule fingerprint.
 
@@ -138,6 +142,9 @@ def fingerprint_run(
     :class:`~repro.pipeline.system.CloudSystem` and ``run_index`` before
     the run starts; the determinism tests use it to splice wall-clock
     noise into a sampler and prove the verifier catches it.
+    ``fault_plan`` injects faults (:mod:`repro.faults`) into both runs —
+    fault application draws from seeded RNG streams, so a faulted run
+    must fingerprint identically too.
     """
     # Imported lazily: devtools must stay importable without dragging the
     # whole pipeline in (the linter half has no simulation dependencies).
@@ -156,7 +163,9 @@ def fingerprint_run(
         duration_ms=duration_ms,
         warmup_ms=warmup_ms,
     )
-    system = CloudSystem(config, make_regulator(regulator), telemetry=telemetry)
+    system = CloudSystem(
+        config, make_regulator(regulator), telemetry=telemetry, fault_plan=fault_plan
+    )
     if mutate is not None:
         mutate(system, run_index)
     system.run()
@@ -179,6 +188,7 @@ def verify_determinism(
     duration_ms: float = 2000.0,
     warmup_ms: float = 500.0,
     mutate: Optional[Callable[[object, int], None]] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> DeterminismReport:
     """Run the scenario twice under ``seed`` and compare fingerprints."""
     runs = [
@@ -192,6 +202,7 @@ def verify_determinism(
             warmup_ms=warmup_ms,
             mutate=mutate,
             run_index=index,
+            fault_plan=fault_plan,
         )
         for index in range(2)
     ]

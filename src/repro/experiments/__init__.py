@@ -29,8 +29,17 @@ from repro.experiments.config import (
     paper_configuration_matrix,
     platform_res_combos,
 )
+from repro.experiments.chaos import (
+    ResilienceRow,
+    chaos_demands,
+    render_resilience,
+    resilience_payload,
+    resilience_rows,
+)
 from repro.experiments.executor import (
+    CellFailure,
     CellOutcome,
+    ExecutionError,
     ExecutionReport,
     ParallelExecutor,
     SerialExecutor,
@@ -50,18 +59,22 @@ from repro.experiments.runner import Runner
 from repro.experiments.store import ResultStore
 
 __all__ = [
+    "CellFailure",
     "CellOutcome",
     "CellSpec",
+    "ExecutionError",
     "ExecutionReport",
     "ExperimentConfig",
     "ExperimentRecord",
     "ParallelExecutor",
     "Plan",
     "PlatformRes",
+    "ResilienceRow",
     "ResultStore",
     "Runner",
     "SerialExecutor",
     "bench_demands",
+    "chaos_demands",
     "execute_cell",
     "format_table",
     "group_demands",
@@ -69,4 +82,7 @@ __all__ = [
     "matrix_demands",
     "paper_configuration_matrix",
     "platform_res_combos",
+    "render_resilience",
+    "resilience_payload",
+    "resilience_rows",
 ]

@@ -1,0 +1,224 @@
+"""Chaos sweeps: fault classes × regulators, scored for resilience.
+
+The paper's robustness story (Sec. 4.1) is qualitative — ODR
+"accelerates" after a disturbance until the client buffer refills.
+This module makes it quantitative: sweep every catalog fault class
+(:mod:`repro.faults.catalog`) across the regulator groups under test,
+compute recovery analytics per cell (:mod:`repro.metrics.recovery`),
+and aggregate them into a per-(regulator × fault class) **resilience
+table** — time to recover, frames lost, worst FPS-gap excursion, MtP
+tail — that `odr-sim chaos` prints and persists.
+
+Chaos cells are ordinary plan cells: content-addressed (the fault
+specs hash into the run_id), store-cached, ledger-appended, and
+executable in parallel or resumed like any other sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.executor import CellOutcome
+from repro.experiments.plan import (
+    DEFAULT_DURATION_MS,
+    DEFAULT_WARMUP_MS,
+    CellSpec,
+    Plan,
+)
+from repro.experiments.report import format_table
+from repro.faults.catalog import build_fault_plan, fault_class_names
+
+__all__ = [
+    "ResilienceRow",
+    "chaos_demands",
+    "render_resilience",
+    "resilience_payload",
+    "resilience_rows",
+]
+
+#: Label chaos sweeps use for the fault-free baseline cells.
+BASELINE_CLASS = "none"
+
+
+def chaos_demands(
+    benchmarks: Sequence[str],
+    regulators: Sequence[str],
+    fault_classes: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (1,),
+    platform: str = "private",
+    resolution: str = "720p",
+    duration_ms: float = DEFAULT_DURATION_MS,
+    warmup_ms: float = DEFAULT_WARMUP_MS,
+    include_baseline: bool = True,
+) -> Plan:
+    """The chaos matrix: benchmarks × regulators × fault classes × seeds.
+
+    Every fault-carrying cell gets its plan from the catalog
+    (:func:`~repro.faults.catalog.build_fault_plan`), scaled to the
+    cell's duration/warmup so fault timing is proportional at any
+    horizon.  With ``include_baseline``, a clean twin of each
+    (benchmark × regulator × seed) cell is planned too — the contrast
+    rows the resilience table is read against.
+    """
+    classes = (
+        list(fault_classes) if fault_classes is not None else fault_class_names()
+    )
+    plan = Plan()
+    for bench in benchmarks:
+        for regulator in regulators:
+            for seed in seeds:
+                if include_baseline:
+                    plan.add(
+                        CellSpec(
+                            benchmark=bench,
+                            platform=platform,
+                            resolution=resolution,
+                            regulator=regulator,
+                            seed=int(seed),
+                            duration_ms=float(duration_ms),
+                            warmup_ms=float(warmup_ms),
+                            fault_class=BASELINE_CLASS,
+                        )
+                    )
+                for name in classes:
+                    fault_plan = build_fault_plan(name, duration_ms, warmup_ms)
+                    plan.add(
+                        CellSpec(
+                            benchmark=bench,
+                            platform=platform,
+                            resolution=resolution,
+                            regulator=regulator,
+                            seed=int(seed),
+                            duration_ms=float(duration_ms),
+                            warmup_ms=float(warmup_ms),
+                            faults=fault_plan.faults,
+                            fault_class=name,
+                        )
+                    )
+    return plan
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """Aggregated recovery behaviour of one (regulator × fault class)."""
+
+    regulator: str
+    fault_class: str
+    cells: int
+    client_fps: float
+    #: Cells whose decode FPS re-entered the pre-fault band and held.
+    recovered: int
+    #: Mean time-to-recover over the *recovered* cells (ms); ``None``
+    #: when no cell recovered (or the class is the clean baseline).
+    mean_ttr_ms: Optional[float]
+    mean_frames_lost: Optional[float]
+    worst_fps_gap: Optional[float]
+    #: Worst per-cell p99 MtP latency during recovery (ms).
+    recovery_mtp_p99_ms: Optional[float]
+
+
+def resilience_rows(outcomes: Sequence[CellOutcome]) -> List[ResilienceRow]:
+    """Fold executed chaos cells into per-(regulator × fault class) rows.
+
+    Rows are sorted by fault class then regulator, baseline first, so
+    the table reads as paired contrasts.
+    """
+    groups: Dict[Tuple[str, str], List[CellOutcome]] = {}
+    for outcome in outcomes:
+        spec = outcome.spec
+        fault_class = spec.fault_class or (BASELINE_CLASS if not spec.faults else "ad-hoc")
+        groups.setdefault((fault_class, spec.regulator), []).append(outcome)
+
+    rows: List[ResilienceRow] = []
+    for (fault_class, regulator), members in sorted(
+        groups.items(), key=lambda item: (item[0][0] != BASELINE_CLASS, item[0])
+    ):
+        fps = [o.record.client_fps for o in members]
+        recoveries = [
+            o.record.recovery for o in members if o.record.recovery is not None
+        ]
+        ttrs = [
+            r.time_to_recover_ms for r in recoveries if r.time_to_recover_ms is not None
+        ]
+        rows.append(
+            ResilienceRow(
+                regulator=regulator,
+                fault_class=fault_class,
+                cells=len(members),
+                client_fps=sum(fps) / len(fps),
+                recovered=len(ttrs),
+                mean_ttr_ms=sum(ttrs) / len(ttrs) if ttrs else None,
+                mean_frames_lost=(
+                    sum(r.frames_lost for r in recoveries) / len(recoveries)
+                    if recoveries
+                    else None
+                ),
+                worst_fps_gap=(
+                    max(r.worst_fps_gap for r in recoveries) if recoveries else None
+                ),
+                recovery_mtp_p99_ms=max(
+                    (
+                        r.recovery_mtp_p99_ms
+                        for r in recoveries
+                        if r.recovery_mtp_p99_ms is not None
+                    ),
+                    default=None,
+                ),
+            )
+        )
+    return rows
+
+
+def render_resilience(rows: Sequence[ResilienceRow]) -> str:
+    """ASCII resilience table (one row per regulator × fault class)."""
+    table_rows: List[List[object]] = [
+        [
+            row.fault_class,
+            row.regulator,
+            row.cells,
+            row.client_fps,
+            f"{row.recovered}/{row.cells}",
+            row.mean_ttr_ms,
+            row.mean_frames_lost,
+            row.worst_fps_gap,
+            row.recovery_mtp_p99_ms,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        [
+            "fault",
+            "regulator",
+            "cells",
+            "client FPS",
+            "recovered",
+            "TTR ms",
+            "frames lost",
+            "worst gap",
+            "MtP p99 ms",
+        ],
+        table_rows,
+        title="Resilience by fault class x regulator",
+    )
+
+
+def resilience_payload(rows: Sequence[ResilienceRow]) -> Dict[str, Any]:
+    """JSON-serializable chaos report (sentinel-comparable shape)."""
+    return {
+        "kind": "chaos_resilience",
+        "rows": [
+            {
+                "fault_class": row.fault_class,
+                "regulator": row.regulator,
+                "cells": row.cells,
+                "client_fps": row.client_fps,
+                "recovered": row.recovered,
+                "mean_ttr_ms": row.mean_ttr_ms,
+                "mean_frames_lost": row.mean_frames_lost,
+                "worst_fps_gap": row.worst_fps_gap,
+                "recovery_mtp_p99_ms": row.recovery_mtp_p99_ms,
+            }
+            for row in rows
+        ],
+    }

@@ -14,11 +14,19 @@ plan order.  Two strategies ship:
   records it returns are **bit-identical** to a serial run — cells
   share no state, and every RNG stream is seeded from the spec alone.
 
-Results stream back in plan order (``ProcessPoolExecutor.map``): each
-finished cell is written through to the store and appended to the run
-ledger *as it completes*, so an interrupted parallel sweep still
-persists every finished cell, and ledger order matches the serial
-order exactly.
+Each finished cell is written through to the store and appended to the
+run ledger *as it completes*, so an interrupted sweep still persists
+every finished cell.
+
+**Fault tolerance.**  A sweep survives its own failures: a cell that
+raises becomes a :class:`CellFailure` on the report instead of
+aborting the plan; the parallel executor additionally takes a
+per-cell timeout (``cell_timeout_s``) and retries cells lost to a
+worker crash (:class:`~concurrent.futures.process.BrokenProcessPool`)
+up to ``max_attempts`` times in a fresh pool.  The report's
+:attr:`~ExecutionReport.failures` enumerate what ultimately failed;
+:attr:`~ExecutionReport.ok` gates exit codes, and a follow-up
+``--resume`` run re-executes only the missing cells, bit-identically.
 
 The cell body (:func:`execute_cell`) is the single place a cell turns
 into numbers: it is what workers run, what the serial path runs, and
@@ -28,14 +36,17 @@ what ``Runner.run_cell`` ultimately calls.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.plan import CellSpec, Plan
 from repro.experiments.record import ExperimentRecord, build_experiment_record
 from repro.experiments.store import ResultStore
+from repro.metrics.recovery import RecoveryStats, recovery_stats
 from repro.obs.ledger import RunLedger
 from repro.obs.probes import host_wallclock
 from repro.obs.runmeta import build_record
@@ -44,13 +55,24 @@ from repro.regulators import make_regulator
 from repro.workloads import PLATFORMS, Resolution
 
 __all__ = [
+    "CellFailure",
     "CellOutcome",
+    "ExecutionError",
     "ExecutionReport",
     "ParallelExecutor",
     "SerialExecutor",
     "execute_cell",
     "make_executor",
 ]
+
+#: Test/CI hook: ``<run_id_prefix>:<marker_file>:<max_kills>`` — a worker
+#: about to execute a matching cell SIGKILLs itself (at most
+#: ``max_kills`` times across the sweep, tracked in ``marker_file``),
+#: simulating a mid-sweep worker crash for the retry/resume paths.
+_CRASH_ENV = "ODR_EXECUTOR_SIMULATED_CRASH"
+#: Test hook: ``<run_id_prefix>:<seconds>`` — a worker executing a
+#: matching cell sleeps first, simulating a hung cell for the timeout path.
+_STALL_ENV = "ODR_EXECUTOR_SIMULATED_STALL"
 
 
 @dataclass(frozen=True)
@@ -70,10 +92,33 @@ class CellOutcome:
 
 
 @dataclass(frozen=True)
+class CellFailure:
+    """One plan cell that did not produce a record."""
+
+    spec: CellSpec
+    #: Human-readable cause (exception type + message, timeout, crash).
+    error: str
+    #: Executions attempted before giving up.
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
 class ExecutionReport:
-    """All outcomes of one executed plan, in plan order."""
+    """All outcomes of one executed plan, in plan order.
+
+    A report with :attr:`failures` is *partial*: every cell in
+    :attr:`outcomes` completed (and persisted, when a store/ledger was
+    attached); the failed cells are enumerated with their cause, and a
+    later ``--resume`` run needs to execute only those.
+    """
 
     outcomes: Tuple[CellOutcome, ...]
+    failures: Tuple[CellFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every planned cell produced a record."""
+        return not self.failures
 
     @property
     def executed(self) -> int:
@@ -99,11 +144,58 @@ class ExecutionReport:
                 return outcome
         raise KeyError(run_id)
 
+    def failure_for(self, run_id: str) -> CellFailure:
+        for failure in self.failures:
+            if failure.spec.run_id == run_id:
+                return failure
+        raise KeyError(run_id)
+
     def describe(self) -> str:
-        return (
+        text = (
             f"{len(self.outcomes)} cell(s): executed={self.executed} "
             f"cached={self.cached} cell_seconds={self.cell_seconds:.2f}"
         )
+        if self.failures:
+            text += f" failed={len(self.failures)}"
+        return text
+
+
+class ExecutionError(RuntimeError):
+    """A plan finished with failed cells (raised by ``Runner.run_plan``)."""
+
+    def __init__(self, report: ExecutionReport) -> None:
+        self.report = report
+        detail = "; ".join(
+            f"{failure.spec.label}: {failure.error}" for failure in report.failures
+        )
+        super().__init__(
+            f"{len(report.failures)} of "
+            f"{len(report.outcomes) + len(report.failures)} cell(s) failed: {detail}"
+        )
+
+
+def _chaos_hooks(spec: CellSpec) -> None:
+    """Honor the simulated-crash/stall env hooks (tests and CI only)."""
+    stall = os.environ.get(_STALL_ENV)
+    if stall:
+        prefix, _, seconds = stall.partition(":")
+        if spec.run_id.startswith(prefix):
+            import time
+
+            time.sleep(float(seconds))
+    crash = os.environ.get(_CRASH_ENV)
+    if crash:
+        prefix, marker_path, max_kills = crash.rsplit(":", 2)
+        if not prefix or spec.run_id.startswith(prefix):
+            try:
+                with open(marker_path, "r", encoding="utf-8") as handle:
+                    kills = len(handle.read().split())
+            except OSError:
+                kills = 0
+            if kills < int(max_kills):
+                with open(marker_path, "a", encoding="utf-8") as handle:
+                    handle.write(f"{spec.run_id}\n")
+                os.kill(os.getpid(), signal.SIGKILL)
 
 
 def execute_cell(
@@ -115,11 +207,14 @@ def execute_cell(
     """Execute one cell: the deterministic unit both executors run.
 
     Everything the simulation needs is derived from the plain-data
-    ``spec``, so this function is safe to ship to a worker process;
-    the returned outcome (record + optional ledger run record) is
-    likewise plain data.  ``git_rev`` is resolved by the caller once
-    per plan, not per cell (workers may not even be inside the repo).
+    ``spec`` — including its fault plan, whose stochastic details
+    resolve from the spec's seed — so this function is safe to ship to
+    a worker process; the returned outcome (record + optional ledger
+    run record) is likewise plain data.  ``git_rev`` is resolved by the
+    caller once per plan, not per cell (workers may not even be inside
+    the repo).
     """
+    _chaos_hooks(spec)
     combo_platform = PLATFORMS[spec.platform]
     resolution = Resolution(spec.resolution)
     regulator = make_regulator(spec.regulator)
@@ -139,7 +234,10 @@ def execute_cell(
         # events/sec (engine probe), so ledger collection forces both on.
         telemetry = Telemetry(engine_probe=collect_ledger)
     started = host_wallclock()
-    result = CloudSystem(sys_config, regulator, telemetry=telemetry).run()
+    system = CloudSystem(
+        sys_config, regulator, telemetry=telemetry, fault_plan=spec.fault_plan()
+    )
+    result = system.run()
     wall_clock_s = host_wallclock() - started
 
     ledger_record: Optional[Dict[str, Any]] = None
@@ -154,6 +252,12 @@ def execute_cell(
     if telemetry_dir is not None and telemetry is not None:
         _persist_telemetry(telemetry, spec, telemetry_dir)
 
+    recovery: Optional[RecoveryStats] = None
+    if system.faults is not None and system.faults.windows:
+        recovery = recovery_stats(
+            result,
+            [(w.start_ms, w.end_ms) for w in system.faults.windows],
+        )
     record = build_experiment_record(
         result,
         benchmark=spec.benchmark,
@@ -163,6 +267,7 @@ def execute_cell(
         regulator_name=regulator.name,
         fps_target=regulator.fps_target,
         qos_target=float(resolution.default_fps_target),
+        recovery=recovery,
     )
     return CellOutcome(
         spec=spec,
@@ -180,6 +285,10 @@ def _persist_telemetry(telemetry: Any, spec: CellSpec, telemetry_dir: str) -> No
     os.makedirs(telemetry_dir, exist_ok=True)
     label = spec.experiment_config().label.replace("/", "-")
     stem = os.path.join(telemetry_dir, f"{spec.benchmark}_{label}_s{spec.seed}")
+    if spec.fault_class:
+        stem += f"_{spec.fault_class}"
+    elif spec.faults:
+        stem += "_faults"
     write_chrome_trace(telemetry, stem + ".trace.json")
     write_jsonl(telemetry, stem + ".jsonl")
 
@@ -201,10 +310,13 @@ class SerialExecutor:
 
         Every freshly executed cell is written through to ``store``
         (and appended to ``ledger``) the moment it completes, so an
-        interrupted sweep keeps everything finished so far.
+        interrupted sweep keeps everything finished so far.  A cell
+        that fails becomes a :class:`CellFailure` on the (then partial)
+        report instead of aborting the sweep.
         """
         store = store if store is not None else ResultStore()
         outcomes: Dict[str, CellOutcome] = {}
+        failures: Dict[str, CellFailure] = {}
         missing: List[CellSpec] = []
         for spec in plan:
             record = store.get(spec.run_id)
@@ -219,13 +331,21 @@ class SerialExecutor:
             else:
                 missing.append(spec)
         collect_ledger = ledger is not None
-        for outcome in self._execute(missing, collect_ledger, telemetry_dir, git_rev):
-            store.put(outcome.spec.run_id, outcome.record)
-            if ledger is not None and outcome.ledger_record is not None:
-                ledger.append(outcome.ledger_record)
-            outcomes[outcome.spec.run_id] = outcome
+        for item in self._execute(missing, collect_ledger, telemetry_dir, git_rev):
+            if isinstance(item, CellFailure):
+                failures[item.spec.run_id] = item
+                continue
+            store.put(item.spec.run_id, item.record)
+            if ledger is not None and item.ledger_record is not None:
+                ledger.append(item.ledger_record)
+            outcomes[item.spec.run_id] = item
         return ExecutionReport(
-            outcomes=tuple(outcomes[run_id] for run_id in plan.run_ids)
+            outcomes=tuple(
+                outcomes[run_id] for run_id in plan.run_ids if run_id in outcomes
+            ),
+            failures=tuple(
+                failures[run_id] for run_id in plan.run_ids if run_id in failures
+            ),
         )
 
     # -- strategy ----------------------------------------------------------
@@ -236,32 +356,53 @@ class SerialExecutor:
         collect_ledger: bool,
         telemetry_dir: Optional[str],
         git_rev: Optional[str],
-    ) -> Iterator[CellOutcome]:
+    ) -> Iterator[Union[CellOutcome, CellFailure]]:
         for spec in specs:
-            yield execute_cell(
-                spec,
-                collect_ledger=collect_ledger,
-                telemetry_dir=telemetry_dir,
-                git_rev=git_rev,
-            )
+            try:
+                yield execute_cell(
+                    spec,
+                    collect_ledger=collect_ledger,
+                    telemetry_dir=telemetry_dir,
+                    git_rev=git_rev,
+                )
+            except Exception as exc:
+                yield CellFailure(spec, f"{type(exc).__name__}: {exc}", attempts=1)
 
 
 class ParallelExecutor(SerialExecutor):
     """Fan a plan's missing cells out over a process pool.
 
     Workers execute :func:`execute_cell` on plain :class:`CellSpec`
-    payloads; results stream back in plan order, so store writes and
-    ledger appends happen incrementally and in the same order a serial
-    run would produce.  Output is bit-identical to
+    payloads; results are harvested in plan order, so store writes and
+    ledger appends happen incrementally (retried cells append after
+    their retry completes).  Output is bit-identical to
     :class:`SerialExecutor` — the DES is deterministic in the spec.
+
+    ``cell_timeout_s`` bounds the wait for any single cell's result
+    (a cell that exceeds it is reported failed; its worker is
+    abandoned at shutdown).  A worker crash breaks the whole pool
+    (:class:`~concurrent.futures.BrokenExecutor`): finished results
+    are harvested, and the unfinished cells re-run in a fresh pool
+    until each has had ``max_attempts`` executions.
     """
 
     name = "parallel"
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        cell_timeout_s: Optional[float] = None,
+        max_attempts: int = 2,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ValueError("cell timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.workers = workers
+        self.cell_timeout_s = cell_timeout_s
+        self.max_attempts = max_attempts
 
     def _execute(
         self,
@@ -269,7 +410,7 @@ class ParallelExecutor(SerialExecutor):
         collect_ledger: bool,
         telemetry_dir: Optional[str],
         git_rev: Optional[str],
-    ) -> Iterator[CellOutcome]:
+    ) -> Iterator[Union[CellOutcome, CellFailure]]:
         workers = min(self.workers, len(specs))
         if workers <= 1:
             yield from super()._execute(specs, collect_ledger, telemetry_dir, git_rev)
@@ -280,14 +421,71 @@ class ParallelExecutor(SerialExecutor):
             telemetry_dir=telemetry_dir,
             git_rev=git_rev,
         )
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # ``map`` yields in submission (= plan) order while cells
-            # execute concurrently: at most head-of-line blocking.
-            yield from pool.map(run_one, specs)
+        attempts: Dict[str, int] = {spec.run_id: 0 for spec in specs}
+        queue: List[CellSpec] = list(specs)
+        while queue:
+            batch, queue = queue, []
+            for spec in batch:
+                attempts[spec.run_id] += 1
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(batch)))
+            futures: List[Tuple[CellSpec, "Future[CellOutcome]"]] = [
+                (spec, pool.submit(run_one, spec)) for spec in batch
+            ]
+            hung = False
+            pool_broken = False
+            for spec, future in futures:
+                if pool_broken:
+                    # The pool already broke: cells that finished before
+                    # the crash still hold results; the rest re-queue.
+                    if future.done() and future.exception() is None:
+                        yield future.result()
+                    else:
+                        retry = self._requeue(spec, attempts[spec.run_id], queue)
+                        if retry is not None:
+                            yield retry
+                    continue
+                try:
+                    yield future.result(timeout=self.cell_timeout_s)
+                except FuturesTimeoutError:
+                    hung = True
+                    yield CellFailure(
+                        spec,
+                        f"timed out after {self.cell_timeout_s:g} s",
+                        attempts=attempts[spec.run_id],
+                    )
+                except BrokenExecutor:
+                    pool_broken = True
+                    retry = self._requeue(spec, attempts[spec.run_id], queue)
+                    if retry is not None:
+                        yield retry
+                except Exception as exc:
+                    yield CellFailure(
+                        spec,
+                        f"{type(exc).__name__}: {exc}",
+                        attempts=attempts[spec.run_id],
+                    )
+            # A hung worker would block a waiting shutdown forever;
+            # cancel what never started and leave it behind.
+            pool.shutdown(wait=not hung, cancel_futures=True)
+
+    def _requeue(
+        self, spec: CellSpec, attempted: int, queue: List[CellSpec]
+    ) -> Optional[CellFailure]:
+        """Re-queue a crash casualty, or fail it after ``max_attempts``."""
+        if attempted < self.max_attempts:
+            queue.append(spec)
+            return None
+        return CellFailure(
+            spec,
+            f"worker crashed (gave up after {attempted} attempt(s))",
+            attempts=attempted,
+        )
 
 
-def make_executor(workers: int = 1) -> SerialExecutor:
+def make_executor(
+    workers: int = 1, cell_timeout_s: Optional[float] = None
+) -> SerialExecutor:
     """``workers <= 1`` → serial; otherwise a pool of ``workers``."""
     if workers > 1:
-        return ParallelExecutor(workers)
+        return ParallelExecutor(workers, cell_timeout_s=cell_timeout_s)
     return SerialExecutor()

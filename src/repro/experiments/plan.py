@@ -37,6 +37,7 @@ from repro.experiments.config import (
     platform_res_combos,
     regulator_specs_for,
 )
+from repro.faults.spec import FaultPlan, FaultSpec
 from repro.obs.runmeta import run_id_for
 from repro.workloads import BENCHMARKS, PLATFORMS, Resolution
 
@@ -64,6 +65,13 @@ class CellSpec:
     seed: int
     duration_ms: float = DEFAULT_DURATION_MS
     warmup_ms: float = DEFAULT_WARMUP_MS
+    #: Declarative fault injection for this cell (:mod:`repro.faults`).
+    #: Part of the content address whenever non-empty.
+    faults: Tuple[FaultSpec, ...] = ()
+    #: Chaos-sweep annotation: the catalog name the faults came from
+    #: ("" outside chaos sweeps).  Presentation only — the specs
+    #: themselves identify the cell.
+    fault_class: str = ""
 
     @classmethod
     def from_config(
@@ -73,6 +81,8 @@ class CellSpec:
         seed: int,
         duration_ms: float = DEFAULT_DURATION_MS,
         warmup_ms: float = DEFAULT_WARMUP_MS,
+        faults: Sequence[FaultSpec] = (),
+        fault_class: str = "",
     ) -> "CellSpec":
         """Build a spec from an enumerated :class:`ExperimentConfig`."""
         combo = config.platform_res
@@ -84,6 +94,8 @@ class CellSpec:
             seed=int(seed),
             duration_ms=float(duration_ms),
             warmup_ms=float(warmup_ms),
+            faults=tuple(faults),
+            fault_class=fault_class,
         )
 
     def config_payload(self) -> Dict[str, Any]:
@@ -92,9 +104,11 @@ class CellSpec:
         This is byte-for-byte the payload :func:`~repro.obs.runmeta.build_record`
         hashes, so a spec's :attr:`run_id` equals its run record's
         ``run_id`` — the plan, result store, and ledger share one
-        address space.
+        address space.  The ``faults`` key appears only when the cell
+        carries faults, so fault-free cells keep the run_ids they have
+        always had (checked-in baselines stay resolvable).
         """
-        return {
+        payload: Dict[str, Any] = {
             "benchmark": self.benchmark,
             "platform": self.platform,
             "resolution": self.resolution,
@@ -102,6 +116,13 @@ class CellSpec:
             "duration_ms": self.duration_ms,
             "warmup_ms": self.warmup_ms,
         }
+        if self.faults:
+            payload["faults"] = [fault.to_dict() for fault in self.faults]
+        return payload
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """This cell's fault plan, or ``None`` for a clean cell."""
+        return FaultPlan(self.faults) if self.faults else None
 
     @property
     def run_id(self) -> str:
@@ -115,8 +136,17 @@ class CellSpec:
 
     @property
     def label(self) -> str:
-        """Human-readable cell name, e.g. ``IM/Priv720p/ODR60``."""
-        return f"{self.benchmark}/{self.experiment_config().label}"
+        """Human-readable cell name, e.g. ``IM/Priv720p/ODR60``.
+
+        Fault-carrying cells gain a ``+<fault_class>`` suffix so ledger
+        listings distinguish them from their clean twins.
+        """
+        base = f"{self.benchmark}/{self.experiment_config().label}"
+        if self.fault_class:
+            return f"{base}+{self.fault_class}"
+        if self.faults:
+            return f"{base}+faults"
+        return base
 
 
 class Plan:

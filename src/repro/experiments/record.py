@@ -22,7 +22,7 @@ from repro.hardware import HardwareReport, evaluate_hardware
 from repro.hardware.dram import DramReport
 from repro.hardware.pmu import PmuCounters
 from repro.hardware.power import PowerReport
-from repro.metrics import BoxStats
+from repro.metrics import BoxStats, RecoveryStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.system import RunResult
@@ -37,7 +37,8 @@ __all__ = [
 
 #: Bumped whenever the serialized record layout changes incompatibly;
 #: the result store refuses (re-executes) cells with a stale schema.
-RECORD_DICT_SCHEMA = 1
+#: 2: added the optional ``recovery`` block (fault-injection analytics).
+RECORD_DICT_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,10 @@ class ExperimentRecord:
     frames_rendered: int
     frames_dropped: int
 
+    #: Fault-recovery analytics (:mod:`repro.metrics.recovery`);
+    #: ``None`` for runs without an injected fault plan.
+    recovery: Optional[RecoveryStats] = None
+
     @property
     def power_w(self) -> float:
         return self.hardware.power.total_w
@@ -95,6 +100,7 @@ def build_experiment_record(
     regulator_name: str,
     fps_target: Optional[float],
     qos_target: float,
+    recovery: Optional[RecoveryStats] = None,
 ) -> ExperimentRecord:
     """Measure a finished run into one :class:`ExperimentRecord`."""
     gap = result.fps_gap()
@@ -124,6 +130,7 @@ def build_experiment_record(
         bandwidth_mbps=result.bandwidth_mbps(),
         frames_rendered=result.frames_rendered(),
         frames_dropped=len(result.dropped_frames()),
+        recovery=recovery,
     )
 
 
@@ -159,4 +166,6 @@ def record_from_dict(payload: Mapping[str, Any]) -> ExperimentRecord:
         power=PowerReport(**hardware["power"]),
         pmu=PmuCounters(**hardware["pmu"]),
     )
+    recovery = data.get("recovery")
+    data["recovery"] = RecoveryStats(**recovery) if recovery is not None else None
     return ExperimentRecord(**data)

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.experiments.config import ExperimentConfig, PlatformRes
-from repro.experiments.executor import ExecutionReport, SerialExecutor
+from repro.experiments.executor import ExecutionError, ExecutionReport, SerialExecutor
 from repro.experiments.plan import CellSpec, Plan
 from repro.experiments.record import ExperimentRecord
 from repro.experiments.store import ResultStore
@@ -89,15 +89,24 @@ class Runner:
             warmup_ms=self.warmup_ms,
         )
 
-    def run_plan(self, plan: Plan) -> ExecutionReport:
-        """Execute every cell of ``plan`` not already in the store."""
-        return self.executor.run(
+    def run_plan(self, plan: Plan, allow_failures: bool = False) -> ExecutionReport:
+        """Execute every cell of ``plan`` not already in the store.
+
+        Failed cells raise :class:`ExecutionError` (carrying the
+        partial report) unless ``allow_failures`` is set, in which case
+        the partial report is returned and the caller inspects
+        ``report.failures`` itself.
+        """
+        report = self.executor.run(
             plan,
             store=self.store,
             ledger=self.ledger,
             telemetry_dir=self.telemetry_dir,
             git_rev=self._git_rev,
         )
+        if report.failures and not allow_failures:
+            raise ExecutionError(report)
+        return report
 
     def run_cell(
         self, benchmark: str, config: ExperimentConfig, seed: Optional[int] = None

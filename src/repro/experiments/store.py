@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -121,6 +122,17 @@ class ResultStore:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except OSError:
+            # Unreadable file (permissions, races): a plain cache miss.
+            return None
+        except ValueError:
+            # A torn write (killed worker, full disk) left bytes that
+            # are not JSON.  Treat as a miss — the executor re-runs the
+            # cell — but move the evidence aside so the rewrite cannot
+            # race it and the corruption stays inspectable.
+            self._quarantine(path, run_id)
+            return None
+        try:
             if not isinstance(payload, dict):
                 return None
             if payload.get("schema") != RECORD_DICT_SCHEMA:
@@ -128,7 +140,21 @@ class ResultStore:
             if payload.get("run_id") != run_id:
                 return None
             return record_from_dict(payload["record"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # A torn or stale cell file is a cache miss, never an error:
-            # the executor simply re-runs the cell and overwrites it.
+        except (ValueError, KeyError, TypeError):
+            # Valid JSON, stale shape (old record layout): a cache
+            # miss; the re-executed cell overwrites it in place.
             return None
+
+    def _quarantine(self, path: Path, run_id: str) -> None:
+        corrupt_dir = path.parent / "corrupt"
+        try:
+            os.makedirs(corrupt_dir, exist_ok=True)
+            os.replace(path, corrupt_dir / path.name)
+        except OSError:
+            return
+        warnings.warn(
+            f"result store: cell {run_id} failed to decode; "
+            f"moved to {corrupt_dir / path.name} and will be re-executed",
+            RuntimeWarning,
+            stacklevel=3,
+        )

@@ -1,0 +1,68 @@
+"""Declarative fault injection: specs, plans, injectors, chaos catalog.
+
+The paper's central robustness claim — ODR's acceleration path
+recovers gracefully from "suddenly-increased processing time"
+(Sec. 4.1) — and every regulator's behaviour under network outages,
+GPU preemption, or client disconnects are exercised through this
+package:
+
+* :mod:`repro.faults.spec` — the typed fault taxonomy
+  (:class:`FaultSpec` subclasses) and the :class:`FaultPlan` a cell
+  carries; plain frozen data, canonically serializable, part of the
+  cell's content address;
+* :mod:`repro.faults.injectors` — :func:`apply_fault_plan` wires a
+  plan into a constructed :class:`~repro.pipeline.system.CloudSystem`
+  (sampler wrappers, network windows, regulator notifications) and
+  returns the run's :class:`FaultController`;
+* :mod:`repro.faults.catalog` — the named fault classes the
+  ``odr-sim chaos`` sweep instantiates per cell horizon.
+
+Recovery analytics live in :mod:`repro.metrics.recovery`; the sweep
+harness in :mod:`repro.experiments.chaos`.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.faults.catalog import FAULT_CLASSES, build_fault_plan, fault_class_names
+from repro.faults.injectors import (
+    FaultController,
+    FaultWindow,
+    StallInjector,
+    WindowScaleSampler,
+    apply_fault_plan,
+    inject_stall,
+)
+from repro.faults.spec import (
+    FAULT_TYPES,
+    BandwidthCollapse,
+    ClientPause,
+    FaultPlan,
+    FaultSpec,
+    GpuPreemption,
+    NetworkOutage,
+    PacketLossBurst,
+    StageStall,
+    StallStorm,
+    fault_from_dict,
+)
+
+__all__ = [
+    "FAULT_CLASSES",
+    "FAULT_TYPES",
+    "BandwidthCollapse",
+    "ClientPause",
+    "FaultController",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultWindow",
+    "GpuPreemption",
+    "NetworkOutage",
+    "PacketLossBurst",
+    "StageStall",
+    "StallInjector",
+    "StallStorm",
+    "WindowScaleSampler",
+    "apply_fault_plan",
+    "build_fault_plan",
+    "fault_class_names",
+    "fault_from_dict",
+    "inject_stall",
+]

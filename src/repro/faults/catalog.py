@@ -1,0 +1,134 @@
+"""Named fault classes for chaos sweeps (``odr-sim chaos``).
+
+Each entry builds a small, horizon-relative :class:`FaultPlan` from the
+cell's ``(duration_ms, warmup_ms)``: faults land ~a third of the way
+into the measured window, leaving the back half of the run for
+recovery, so time-to-recover is measurable whenever the regulator does
+recover.  The builders are pure — all stochastic detail (storm
+arrivals, loss draws) resolves from the run's seed at apply time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.faults.spec import (
+    BandwidthCollapse,
+    ClientPause,
+    FaultPlan,
+    GpuPreemption,
+    NetworkOutage,
+    PacketLossBurst,
+    StageStall,
+    StallStorm,
+)
+
+__all__ = ["FAULT_CLASSES", "build_fault_plan", "fault_class_names"]
+
+#: A fault-class builder maps ``(duration_ms, warmup_ms)`` to a plan.
+FaultClassBuilder = Callable[[float, float], FaultPlan]
+
+
+def _at(warmup_ms: float, duration_ms: float, fraction: float) -> float:
+    """A point ``fraction`` of the way through the measured window."""
+    return warmup_ms + duration_ms * fraction
+
+
+def _encode_stall(duration_ms: float, warmup_ms: float) -> FaultPlan:
+    """The paper's Sec. 4.1 scenario: one 300 ms encoder stall."""
+    return FaultPlan([StageStall("encode", _at(warmup_ms, duration_ms, 0.35), 300.0)])
+
+
+def _stall_storm(duration_ms: float, warmup_ms: float) -> FaultPlan:
+    return FaultPlan(
+        [
+            StallStorm(
+                stage="render",
+                start_ms=_at(warmup_ms, duration_ms, 0.30),
+                end_ms=_at(warmup_ms, duration_ms, 0.50),
+                rate_per_s=4.0,
+                mean_stall_ms=40.0,
+            )
+        ]
+    )
+
+
+def _net_outage(duration_ms: float, warmup_ms: float) -> FaultPlan:
+    return FaultPlan(
+        [
+            NetworkOutage(
+                start_ms=_at(warmup_ms, duration_ms, 0.35),
+                duration_ms=min(1000.0, duration_ms * 0.10),
+            )
+        ]
+    )
+
+
+def _bw_collapse(duration_ms: float, warmup_ms: float) -> FaultPlan:
+    return FaultPlan(
+        [
+            BandwidthCollapse(
+                start_ms=_at(warmup_ms, duration_ms, 0.30),
+                duration_ms=duration_ms * 0.15,
+                factor=0.25,
+            )
+        ]
+    )
+
+
+def _packet_loss(duration_ms: float, warmup_ms: float) -> FaultPlan:
+    return FaultPlan(
+        [
+            PacketLossBurst(
+                start_ms=_at(warmup_ms, duration_ms, 0.35),
+                duration_ms=duration_ms * 0.12,
+                loss_prob=0.3,
+            )
+        ]
+    )
+
+
+def _client_pause(duration_ms: float, warmup_ms: float) -> FaultPlan:
+    return FaultPlan([ClientPause(_at(warmup_ms, duration_ms, 0.35), 500.0)])
+
+
+def _gpu_preempt(duration_ms: float, warmup_ms: float) -> FaultPlan:
+    return FaultPlan(
+        [
+            GpuPreemption(
+                start_ms=_at(warmup_ms, duration_ms, 0.30),
+                duration_ms=120.0,
+                slowdown=3.5,
+                period_ms=480.0,
+                count=4,
+            )
+        ]
+    )
+
+
+#: The chaos sweep's fault classes, by stable name.
+FAULT_CLASSES: Dict[str, FaultClassBuilder] = {
+    "encode_stall": _encode_stall,
+    "stall_storm": _stall_storm,
+    "net_outage": _net_outage,
+    "bw_collapse": _bw_collapse,
+    "packet_loss": _packet_loss,
+    "client_pause": _client_pause,
+    "gpu_preempt": _gpu_preempt,
+}
+
+
+def fault_class_names() -> List[str]:
+    """Sorted fault-class names (CLI choices, sweep default order)."""
+    return sorted(FAULT_CLASSES)
+
+
+def build_fault_plan(name: str, duration_ms: float, warmup_ms: float) -> FaultPlan:
+    """Instantiate the named fault class for one cell's horizon."""
+    try:
+        builder = FAULT_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault class {name!r}; have {fault_class_names()}"
+        ) from None
+    return builder(float(duration_ms), float(warmup_ms))

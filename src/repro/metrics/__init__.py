@@ -17,6 +17,7 @@ system:
 from repro.metrics.counters import FpsCounter, FpsGapReport, StageFps
 from repro.metrics.latency import LatencySample, MtpLatencyTracker
 from repro.metrics.qos import QosReport, qos_satisfaction
+from repro.metrics.recovery import RecoveryStats, compute_recovery, recovery_stats
 from repro.metrics.stats import (
     BootstrapCI,
     BoxStats,
@@ -38,7 +39,10 @@ __all__ = [
     "MannWhitneyResult",
     "MtpLatencyTracker",
     "QosReport",
+    "RecoveryStats",
     "StageFps",
+    "compute_recovery",
+    "recovery_stats",
     "bootstrap_diff_ci",
     "bootstrap_mean_ci",
     "mann_whitney_u",

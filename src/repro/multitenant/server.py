@@ -85,6 +85,8 @@ class TenantSession:
         self.encode_resource = server.encoder_pool
         self.link_resource = server.uplink
         self.abr = None
+        # No per-session fault injection (CloudSystem duck interface).
+        self.faults = None
 
         models = benchmark.stage_models(self.platform, self.resolution)
         self.samplers = {

@@ -45,6 +45,7 @@ __all__ = ["chrome_trace", "jsonl_lines", "write_chrome_trace", "write_jsonl"]
 _THREADS: Dict[str, int] = {"gate": 1}
 _THREADS.update({stage: i + 2 for i, stage in enumerate(PIPELINE_STAGES)})
 _THREADS["lifecycle"] = len(_THREADS) + 1
+_THREADS["faults"] = len(_THREADS) + 1
 
 _MS_TO_US = 1000.0
 
@@ -178,6 +179,22 @@ def chrome_trace(telemetry: Telemetry, profiler: Optional["SimProfiler"] = None)
                 }
             )
 
+    for window in telemetry.fault_windows:
+        start_ms = float(window["start_ms"])  # type: ignore[arg-type]
+        end_ms = float(window["end_ms"])  # type: ignore[arg-type]
+        events.append(
+            {
+                "ph": "X",
+                "name": f"fault:{window['label']}",
+                "cat": "fault",
+                "ts": start_ms * _MS_TO_US,
+                "dur": (end_ms - start_ms) * _MS_TO_US,
+                "pid": pids.get(str(window["session"]), 1),
+                "tid": _THREADS["faults"],
+                "args": {"kind": window["kind"]},
+            }
+        )
+
     events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
@@ -198,6 +215,10 @@ def jsonl_lines(telemetry: Telemetry) -> Iterator[str]:
         record = {"type": "frame_span"}
         record.update(span.to_dict())
         yield json.dumps(record)
+    for window in telemetry.fault_windows:
+        fault_record = {"type": "fault_window"}
+        fault_record.update(window)
+        yield json.dumps(fault_record)
     snapshot = {"type": "metrics_snapshot"}
     snapshot.update(telemetry.snapshot().to_dict())
     yield json.dumps(snapshot)

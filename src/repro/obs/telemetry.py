@@ -21,7 +21,7 @@ a consolidated server stay separable.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.obs.probes import EngineProbe
 from repro.obs.registry import MetricsRegistry, MetricsSnapshot
@@ -48,6 +48,10 @@ class Telemetry:
         self.spans = SpanStore()
         self.registry = MetricsRegistry()
         self.probe: Optional[EngineProbe] = EngineProbe() if engine_probe else None
+        #: Injected-fault windows (:mod:`repro.faults`), as plain dicts
+        #: ``{kind, label, start_ms, end_ms, session}`` — exporters turn
+        #: them into labeled trace regions.
+        self.fault_windows: List[Dict[str, object]] = []
         #: Session namespace for spans and metric labels ("" = single run).
         self.session = ""
 
@@ -57,6 +61,7 @@ class Telemetry:
         view.spans = self.spans
         view.registry = self.registry
         view.probe = self.probe
+        view.fault_windows = self.fault_windows
         view.session = str(session)
         return view
 
@@ -103,6 +108,26 @@ class Telemetry:
             self.registry.histogram("frame_pipeline_ms", **self._labels()).observe(
                 at - span.opened_at
             )
+
+    def fault_window(
+        self, kind: str, label: str, start_ms: float, end_ms: float
+    ) -> None:
+        """An injected fault is active over ``[start_ms, end_ms)``.
+
+        Recorded when the fault plan is applied (windows are known up
+        front), so traces show the fault region even if the run is cut
+        short.
+        """
+        self.fault_windows.append(
+            {
+                "kind": kind,
+                "label": label,
+                "start_ms": float(start_ms),
+                "end_ms": float(end_ms),
+                "session": self.session,
+            }
+        )
+        self.registry.counter("fault_windows_total", **self._labels(kind=kind)).inc()
 
     # -- metric hooks ----------------------------------------------------
 

@@ -1,59 +1,34 @@
-"""Failure injection for robustness testing.
+"""Deprecated shim: fault injection moved to :mod:`repro.faults`.
 
-Real cloud-3D deployments hit transient stalls the steady-state
-distributions never produce: a driver recompiles shaders, the encoder
-hits a scene cut, the VM gets descheduled, a GC pause freezes the proxy.
-The paper's whole argument for ODR's *acceleration* path is recovering
-from exactly such events (Sec. 4.1's "suddenly-increased processing
-time"), so the test suite injects them deliberately.
+This module used to hold the single-stall injector the test suite was
+written against.  The fault model is now a first-class subsystem —
+declarative :class:`~repro.faults.FaultPlan` specs applied at
+:class:`~repro.pipeline.system.CloudSystem` construction — and the
+injector (deque-backed, no O(n²) list pops) lives in
+:mod:`repro.faults.injectors`.
 
-:class:`StallInjector` wraps any stage sampler and adds scheduled
-stalls: at each programmed simulation time, the next draw after that
-point is inflated by the stall duration (the stage appears to take that
-much longer — a service-time stall, exactly how a descheduled thread
-manifests to the pipeline).
+``StallInjector`` re-exports directly; :func:`inject_stall` still works
+but warns — build a plan instead::
 
-Usage::
-
-    system = CloudSystem(config, regulator)
-    inject_stall(system, "encode", at_ms=5000.0, duration_ms=300.0)
-    result = system.run()
+    from repro.faults import FaultPlan, StageStall
+    system = CloudSystem(
+        config, regulator,
+        fault_plan=FaultPlan([StageStall("encode", 5000.0, 300.0)]),
+    )
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+import warnings
+from typing import TYPE_CHECKING
+
+from repro.faults.injectors import StallInjector
+from repro.faults.injectors import inject_stall as _inject_stall
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.system import CloudSystem
 
 __all__ = ["StallInjector", "inject_stall"]
-
-
-class StallInjector:
-    """Sampler wrapper adding scheduled service-time stalls."""
-
-    def __init__(self, base_sampler, env, stalls: List[Tuple[float, float]]):
-        """``stalls`` is a list of ``(at_ms, duration_ms)`` pairs."""
-        for at_ms, duration_ms in stalls:
-            if duration_ms <= 0:
-                raise ValueError("stall duration must be positive")
-            if at_ms < 0:
-                raise ValueError("stall time must be non-negative")
-        self._base = base_sampler
-        self._env = env
-        #: Pending stalls, earliest first.
-        self._pending = sorted(stalls)
-        #: (time, duration) of stalls already delivered.
-        self.fired: List[Tuple[float, float]] = []
-
-    def next(self) -> float:
-        value = self._base.next()
-        while self._pending and self._env.now >= self._pending[0][0]:
-            at_ms, duration_ms = self._pending.pop(0)
-            self.fired.append((self._env.now, duration_ms))
-            value += duration_ms
-        return value
 
 
 def inject_stall(
@@ -62,23 +37,12 @@ def inject_stall(
     at_ms: float,
     duration_ms: float,
 ) -> StallInjector:
-    """Schedule one stall of ``stage`` and return the injector.
-
-    Must be called before ``system.run()``.  ``stage`` is one of the
-    sampled pipeline stages (``render``, ``copy``, ``encode``,
-    ``decode``).  Multiple calls on the same stage chain injectors.
-    """
-    if stage not in system.samplers:
-        raise KeyError(f"unknown stage {stage!r}; have {sorted(system.samplers)}")
-    injector = StallInjector(system.samplers[stage], system.env, [(at_ms, duration_ms)])
-    system.samplers[stage] = injector
-    # stage components cache their sampler at construction; rebind
-    if stage == "render":
-        system.app._render_sampler = injector
-    elif stage == "copy":
-        system.app._copy_sampler = injector
-    elif stage == "encode":
-        system.proxy._encode_sampler = injector
-    elif stage == "decode":
-        system.client._decode_sampler = injector
-    return injector
+    """Deprecated alias of :func:`repro.faults.inject_stall`."""
+    warnings.warn(
+        "repro.pipeline.faults.inject_stall is deprecated; pass a "
+        "repro.faults.FaultPlan to CloudSystem (or call "
+        "repro.faults.inject_stall) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _inject_stall(system, stage, at_ms, duration_ms)

@@ -31,6 +31,9 @@ class DropReason(enum.Enum):
     MAILBOX_OVERWRITE = "mailbox_overwrite"
     #: Flushed by PriorityFrame as obsolete when an input frame overtook it.
     OBSOLETE_FLUSH = "obsolete_flush"
+    #: Lost in transit during an injected packet-loss burst
+    #: (:mod:`repro.faults`); its inputs carry to the next delivery.
+    NETWORK_LOSS = "network_loss"
 
 
 @dataclass

@@ -67,9 +67,17 @@ class NetworkPath:
         """Generator: serialize ``frame`` and deliver it to the client.
 
         Acquires the (possibly shared) uplink when the system defines
-        one — consolidated sessions serialize their sends on it.
+        one — consolidated sessions serialize their sends on it.  With
+        faults injected (:mod:`repro.faults`), an outage window parks
+        the sender until it lifts, and a packet-loss burst may drop the
+        serialized frame (its inputs then ride the next delivery).
         """
         env = self.env
+        faults = self.system.faults
+        if faults is not None:
+            release_at = faults.outage_release_at(env.now)
+            if release_at is not None:
+                yield env.timeout(release_at - env.now)
         request: Optional[Event] = None
         if self.system.link_resource is not None:
             request = self.system.link_resource.request()
@@ -87,6 +95,13 @@ class NetworkPath:
         self.sent_bytes += frame.size_bytes
         if request is not None:
             self.system.link_resource.release(request)
+        if faults is not None:
+            if faults.frame_lost(env.now):
+                faults.absorb_lost_frame(frame)
+                return
+            carried = faults.claim_carried_inputs()
+            if carried:
+                frame.input_ids |= carried
         client = self.system.client
         env.call_at(env.now + self.platform.downlink_ms, lambda f=frame: client.receive(f))
 

@@ -46,6 +46,8 @@ from repro.workloads import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injectors import FaultController
+    from repro.faults.spec import FaultPlan
     from repro.obs import Telemetry
     from repro.pipeline.abr import AbrController, AdaptiveBitrate
     from repro.pipeline.display import DisplayModel
@@ -91,6 +93,9 @@ class CloudSystem:
     per-frame spans, labeled metrics, and — when the telemetry object
     carries a probe — engine introspection.  Left as ``None``, every
     telemetry hook in the pipeline is a single ``is None`` branch.
+    ``fault_plan`` injects declarative adverse events
+    (:mod:`repro.faults`) — stalls, outages, loss bursts, preemption —
+    deterministically seeded from the run's RNG tree.
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class CloudSystem:
         abr: Optional["AdaptiveBitrate"] = None,
         bandwidth_schedule: Optional[Callable[[float], float]] = None,
         telemetry: Optional["Telemetry"] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.config = config
         self.benchmark = config.resolve_benchmark()
@@ -117,6 +123,8 @@ class CloudSystem:
         self.gpu_resource: Optional[Resource] = None
         self.encode_resource: Optional[Resource] = None
         self.link_resource: Optional[Resource] = None
+        #: Fault-injection state; set below when a fault plan is given.
+        self.faults: Optional["FaultController"] = None
         self.counter = FpsCounter()
         self.tracker = MtpLatencyTracker()
         self.trace = IntervalTrace()
@@ -163,6 +171,13 @@ class CloudSystem:
         # Client-FPS feedback reports (used by adaptive regulators such as
         # IntMax; a no-op hook for the others).
         self.env.process(self._client_fps_reporter(), name="fps-reporter")
+
+        # Declarative fault injection (imported lazily: repro.faults
+        # pulls pipeline modules, like the abr import above).
+        if fault_plan is not None and len(fault_plan):
+            from repro.faults.injectors import apply_fault_plan
+
+            self.faults = apply_fault_plan(self, fault_plan)
 
     def _client_fps_reporter(self) -> ProcessGenerator:
         """Report the client's decode FPS to the cloud once per second."""

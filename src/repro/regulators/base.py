@@ -144,6 +144,18 @@ class Regulator:
     def on_client_fps_report(self, client_fps: float) -> None:
         """Per-second client FPS report arrived at the cloud (IntMax hook)."""
 
+    def on_fault_begin(self, kind: str, at_ms: float) -> None:
+        """An injected fault window opened (:mod:`repro.faults`).
+
+        Called *in simulation time* at the window's start.  The base
+        policies ignore faults — they experience them only through the
+        pipeline — but fault-aware policies may pre-position (e.g. drain
+        buffers before a known maintenance window).
+        """
+
+    def on_fault_end(self, kind: str, at_ms: float) -> None:
+        """An injected fault window closed (:mod:`repro.faults`)."""
+
     # -- reporting ----------------------------------------------------------------
 
     def describe(self) -> str:
