@@ -12,9 +12,11 @@ Subcommands::
 
 Sweep-shaped subcommands (``figure``, ``table2``, ``summary``,
 ``matrix``, ``bench``) plan their cells first and accept ``--workers N``
-(process-pool execution, bit-identical to serial) and ``--resume``
+(process-pool execution, bit-identical to serial), ``--resume``
 (persist completed cells under ``<ledger>/cells/`` and warm-start the
-next invocation); ``matrix`` additionally takes ``--benchmarks`` /
+next invocation), ``--events`` (record sweep execution events to
+``<ledger>/events.jsonl``), and ``--live`` (terminal dashboard while
+the sweep runs); ``matrix`` additionally takes ``--benchmarks`` /
 ``--groups`` to run a reduced matrix.  Remaining subcommands::
 
     chaos       fault-injection chaos sweep: catalog fault classes ×
@@ -31,7 +33,12 @@ next invocation); ``matrix`` additionally takes ``--benchmarks`` /
                 and generator callsite, plus queue depth and events/sec
     bench       run the smoke benchmark matrix into the run ledger and
                 write a machine-readable BENCH JSON
-    runs        list the records in the run ledger
+    runs        list the records in the run ledger, plus quarantined
+                corrupt cells and the last sweep's failures
+    watch       follow a running sweep's event log with the live dashboard
+    sweep-trace export a whole-sweep Chrome trace (cells on worker lanes)
+    cost        attribute a sweep's wall clock (pool warmup / cell skew /
+                serialization) from its event log
     baseline    show or pin the ledger's baseline record
     compare-runs
                 regression sentinel: statistically diff two run records
@@ -73,6 +80,16 @@ def _add_exec_args(sub: argparse.ArgumentParser) -> None:
         "--cell-timeout", type=float, default=None, metavar="S",
         help="fail any cell whose result takes longer than S seconds "
              "(parallel executor only)",
+    )
+    sub.add_argument(
+        "--events", action="store_true",
+        help="record sweep execution events (cell lifecycle, worker "
+             "telemetry) to the ledger directory's events.jsonl",
+    )
+    sub.add_argument(
+        "--live", action="store_true",
+        help="show a live terminal dashboard while the sweep runs "
+             "(implies --events persistence when a ledger is in play)",
     )
 
 
@@ -336,6 +353,70 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_cmd.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
                           help="run-ledger directory")
 
+    watch = sub.add_parser(
+        "watch",
+        help="follow a running sweep's event log with the live dashboard",
+    )
+    watch.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                       help="run-ledger directory (reads its events.jsonl)")
+    watch.add_argument(
+        "--events-file", default=None,
+        help="explicit events.jsonl path (overrides --ledger)",
+    )
+    watch.add_argument(
+        "--poll", type=float, default=0.25, metavar="S",
+        help="tail poll interval in seconds",
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="give up after S seconds with no new events (default: wait "
+             "forever; press q or Ctrl-C to leave)",
+    )
+
+    sweep_trace = sub.add_parser(
+        "sweep-trace",
+        help="export a whole-sweep Chrome trace (cells as spans on "
+             "worker lanes) from the sweep event log",
+    )
+    sweep_trace.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                             help="run-ledger directory (reads its events.jsonl)")
+    sweep_trace.add_argument(
+        "--events-file", default=None,
+        help="explicit events.jsonl path (overrides --ledger)",
+    )
+    sweep_trace.add_argument(
+        "--sweep", default=None, metavar="ID",
+        help="sweep id (or unique prefix) to export (default: the latest)",
+    )
+    sweep_trace.add_argument(
+        "-o", "--output", required=True,
+        help="Chrome Trace Format output path (open in chrome://tracing "
+             "or Perfetto)",
+    )
+
+    cost = sub.add_parser(
+        "cost",
+        help="attribute a sweep's wall clock: pool warmup vs cell skew "
+             "vs serialization, with per-cell resource rows",
+    )
+    cost.add_argument("--ledger", default=DEFAULT_LEDGER_DIR,
+                      help="run-ledger directory (reads its events.jsonl)")
+    cost.add_argument(
+        "--events-file", default=None,
+        help="explicit events.jsonl path (overrides --ledger)",
+    )
+    cost.add_argument(
+        "--sweep", default=None, metavar="ID",
+        help="sweep id (or unique prefix) to report on (default: the latest)",
+    )
+    cost.add_argument(
+        "--top", type=int, default=10, help="slowest cells to list"
+    )
+    cost.add_argument(
+        "-o", "--output", default=None,
+        help="also write the full cost report as JSON to this path",
+    )
+
     baseline = sub.add_parser(
         "baseline", help="show or pin the ledger's baseline record"
     )
@@ -559,7 +640,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     store = ResultStore(os.path.join(args.ledger, "cells")) if args.resume else None
     executor = make_executor(args.workers, cell_timeout_s=args.cell_timeout)
     ledger = RunLedger(args.ledger)
-    report = executor.run(plan, store=store, ledger=ledger, git_rev=git_revision())
+    bus = _sweep_bus(args)
+    try:
+        report = executor.run(
+            plan, store=store, ledger=ledger, git_rev=git_revision(), bus=bus
+        )
+    finally:
+        if bus is not None:
+            bus.close()
+    if bus is not None and bus.path is not None:
+        print(f"chaos: sweep events at {bus.path} (sweep {bus.sweep_id})")
 
     rows = resilience_rows(report.outcomes)
     print(render_resilience(rows))
@@ -656,12 +746,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     serial_wall = host_wallclock() - started
 
+    # With --events/--live the *measured* leg (parallel when workers > 1,
+    # serial otherwise) runs with the sweep event bus attached, and the
+    # report gains a cost-attribution block.  The observed parallel leg
+    # also pays the plane's enabled cost (manager spawn, queue hops), so
+    # the speedup it reports is the *observed* speedup — the cost block
+    # exists precisely to itemize that; run without --events for the
+    # bare number.
+    bus = _sweep_bus(args)
+    cost_block = None
+
     chosen = serial_report
     comparison = None
     if args.workers > 1:
         started = host_wallclock()
         parallel_report = ParallelExecutor(args.workers).run(
-            plan, store=ResultStore(), ledger=ledger, git_rev=git_rev
+            plan, store=ResultStore(), ledger=ledger, git_rev=git_rev, bus=bus
         )
         parallel_wall = host_wallclock() - started
         identical = all(
@@ -690,6 +790,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not identical:
             print("bench: parallel output diverged from serial", file=sys.stderr)
             return 1
+    elif bus is not None:
+        # No parallel leg: re-run the serial sweep observed (cells are
+        # cheap at bench scale) so --events still yields an event log.
+        SerialExecutor().run(plan, store=ResultStore(), git_rev=git_rev, bus=bus)
+    if bus is not None:
+        from repro.obs.cost import sweep_cost
+
+        bus.close()
+        cost_block = sweep_cost(bus.events)
+        if bus.path is not None:
+            print(f"  sweep events at {bus.path} (sweep {bus.sweep_id})")
 
     cells = []
     for outcome in chosen.outcomes:
@@ -723,6 +834,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             + f"  -> {record['run_id']}"
         )
+    # The disabled-overhead guard: what the sweep event plane costs a
+    # sweep that never asked for it, as a fraction of a typical cell.
+    from repro.obs.sweep import disabled_overhead_report
+
+    executed_walls = [o.wall_clock_s for o in chosen.outcomes if not o.cached]
+    mean_cell_wall = (
+        sum(executed_walls) / len(executed_walls) if executed_walls else 0.0
+    )
+    events_plane = disabled_overhead_report(mean_cell_wall)
+    print(
+        f"  events plane (disabled): {events_plane['per_emit_ns']:.0f} ns/emit, "
+        f"{events_plane['disabled_overhead_frac']:.2e} of a "
+        f"{mean_cell_wall:.3f} s cell (budget {events_plane['budget_frac']:.0%}, "
+        f"{'ok' if events_plane['ok'] else 'OVER BUDGET'})"
+    )
+
     report = {
         "schema": 1,
         "git_rev": git_rev,
@@ -732,9 +859,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "warmup_ms": args.warmup,
         "total_wall_clock_s": sum(c["wall_clock_s"] for c in cells),
         "cells": cells,
+        "events_plane": events_plane,
     }
     if comparison is not None:
+        if cost_block is not None:
+            comparison["cost"] = cost_block
         report["executor_comparison"] = comparison
+    elif cost_block is not None:
+        report["sweep_cost"] = cost_block
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, sort_keys=True, indent=2)
         handle.write("\n")
@@ -764,15 +896,140 @@ def _cmd_runs(args: argparse.Namespace) -> int:
 
     ledger = RunLedger(args.ledger)
     records = ledger.records()
-    if not records:
+    if records:
+        for record in records:
+            print(_describe_record(record))
+        baseline = ledger.baseline()
+        print(f"{len(records)} record(s) in {ledger.path}")
+        if baseline is not None:
+            print(f"baseline: {baseline.get('run_id')} ({baseline.get('label', '')})")
+    else:
         print(f"runs: ledger {ledger.path} is empty")
+
+    # The parts an all-green listing would hide: corrupt cells the store
+    # quarantined, and cells the last recorded sweep failed to execute.
+    quarantined = ResultStore(os.path.join(args.ledger, "cells")).quarantined()
+    if quarantined:
+        print(f"quarantined corrupt cell(s) under {args.ledger}/cells/corrupt/:")
+        for run_id in quarantined:
+            print(f"  {run_id}  (will re-execute on the next resume)")
+    failures = _last_sweep_failures(args.ledger)
+    if failures:
+        print("failed cell(s) in the last recorded sweep:")
+        for line in failures:
+            print(f"  {line}")
+    return 0
+
+
+def _last_sweep_failures(ledger_dir: str) -> List[str]:
+    """Failure lines from the newest sweep in ``<ledger>/events.jsonl``."""
+    from repro.obs import sweep as sweepbus
+    from repro.obs.sweep import events_path_for, read_events
+
+    path = events_path_for(ledger_dir)
+    if not os.path.exists(path):
+        return []
+    try:
+        events = read_events(path)
+    except (OSError, ValueError):
+        return []
+    lines: List[str] = []
+    for event in events:
+        if event.kind == sweepbus.CELL_FAILED:
+            lines.append(
+                f"{event.get('label', event.run_id)} [{event.run_id}]: "
+                f"{event.get('error', '?')} "
+                f"(after {event.get('attempts', '?')} attempt(s))"
+            )
+        elif event.kind == sweepbus.CELL_TIMED_OUT:
+            lines.append(
+                f"{event.get('label', event.run_id)} [{event.run_id}]: "
+                f"timed out after {event.get('timeout_s')}s"
+            )
+    return lines
+
+
+def _events_file(args: argparse.Namespace) -> str:
+    """The events.jsonl a telemetry subcommand should read."""
+    from repro.obs.sweep import events_path_for
+
+    explicit = getattr(args, "events_file", None)
+    if explicit:
+        return str(explicit)
+    return events_path_for(args.ledger)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import SweepDashboard, follow_events
+
+    path = _events_file(args)
+    print(f"watch: following {path} (q or Ctrl-C to leave)")
+    dashboard = SweepDashboard()
+    try:
+        consumed = follow_events(
+            path,
+            dashboard,
+            poll_s=args.poll,
+            timeout_s=args.timeout,
+        )
+    except KeyboardInterrupt:
+        print()
         return 0
-    for record in records:
-        print(_describe_record(record))
-    baseline = ledger.baseline()
-    print(f"{len(records)} record(s) in {ledger.path}")
-    if baseline is not None:
-        print(f"baseline: {baseline.get('run_id')} ({baseline.get('label', '')})")
+    if consumed == 0:
+        print(f"watch: no events at {path}")
+        return 1
+    return 0
+
+
+def _cmd_sweep_trace(args: argparse.Namespace) -> int:
+    from repro.obs.sweep import read_events
+    from repro.obs.sweeptrace import write_sweep_trace
+
+    path = _events_file(args)
+    try:
+        events = read_events(path, sweep_id=args.sweep)
+    except OSError:
+        print(f"sweep-trace: no event log at {path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"sweep-trace: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"sweep-trace: no events in {path}", file=sys.stderr)
+        return 2
+    count = write_sweep_trace(events, args.output)
+    print(
+        f"wrote {count} trace event(s) for sweep {events[0].sweep_id} "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.cost import render_cost, sweep_cost
+    from repro.obs.sweep import read_events
+
+    path = _events_file(args)
+    try:
+        events = read_events(path, sweep_id=args.sweep)
+    except OSError:
+        print(f"cost: no event log at {path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cost: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"cost: no events in {path}", file=sys.stderr)
+        return 2
+    report = sweep_cost(events)
+    print(render_cost(report, top=args.top))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"cost: wrote JSON report to {args.output}")
     return 0
 
 
@@ -821,20 +1078,48 @@ def _cmd_compare_runs(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _sweep_bus(args: argparse.Namespace):
+    """Build the sweep event bus a subcommand asked for, or ``None``.
+
+    ``--events`` persists execution events to the ledger directory's
+    ``events.jsonl`` (the artifact ``watch`` / ``sweep-trace`` /
+    ``cost`` read); ``--live`` additionally attaches the terminal
+    dashboard.  Without either flag, executors run with no bus at all —
+    the zero-overhead default.
+    """
+    wants_events = getattr(args, "events", False)
+    wants_live = getattr(args, "live", False)
+    if not (wants_events or wants_live):
+        return None
+    from repro.obs.sweep import SweepEventBus, events_path_for
+
+    path = None
+    if wants_events:
+        ledger_dir = getattr(args, "ledger", None) or DEFAULT_LEDGER_DIR
+        path = events_path_for(ledger_dir)
+    bus = SweepEventBus(path=path)
+    if wants_live:
+        from repro.obs.dashboard import SweepDashboard
+
+        SweepDashboard().attach(bus)
+    return bus
+
+
 def _experiment_runner(args: argparse.Namespace) -> Runner:
     """Build the Runner a subcommand asked for: executor + result store.
 
     ``--workers N`` swaps in the process-pool executor; ``--resume``
     persists completed cells under ``<ledger>/cells/`` so a later
-    invocation warm-starts instead of re-simulating.  Subcommands
-    without those flags get the plain serial, memory-only runner.
+    invocation warm-starts instead of re-simulating; ``--events`` /
+    ``--live`` attach the sweep event bus.  Subcommands without those
+    flags get the plain serial, memory-only, unobserved runner.
     """
     workers = getattr(args, "workers", 1) or 1
     store = None
     if getattr(args, "resume", False):
         ledger_dir = getattr(args, "ledger", None) or DEFAULT_LEDGER_DIR
         store = ResultStore(os.path.join(ledger_dir, "cells"))
-    return Runner(
+    runner = Runner(
         seed=args.seed,
         duration_ms=args.duration,
         warmup_ms=args.warmup,
@@ -843,6 +1128,8 @@ def _experiment_runner(args: argparse.Namespace) -> Runner:
         ),
         store=store,
     )
+    runner.bus = _sweep_bus(args)
+    return runner
 
 
 def _cmd_figure(args: argparse.Namespace, runner: Runner) -> str:
@@ -893,6 +1180,12 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "sweep-trace":
+        return _cmd_sweep_trace(args)
+    if args.command == "cost":
+        return _cmd_cost(args)
     if args.command == "baseline":
         return _cmd_baseline(args)
     if args.command == "compare-runs":
@@ -962,12 +1255,19 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             f"wrote {count} rows to {args.output} "
             f"(executed={report.executed} cached={report.cached})"
         )
+        if runner.bus is not None and runner.bus.path is not None:
+            print(
+                f"sweep events at {runner.bus.path} "
+                f"(sweep {runner.bus.sweep_id})"
+            )
         if report.failures:
             for failure in report.failures:
                 print(
                     f"matrix: FAILED {failure.spec.label}: {failure.error}",
                     file=sys.stderr,
                 )
+            if runner.bus is not None:
+                runner.bus.close()
             return 1
     elif args.command == "compare":
         from repro.analysis import paired_compare
@@ -1051,6 +1351,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         print("configurations (paper matrix):")
         for config in paper_configuration_matrix(include_ablation=True):
             print(f"  {config.label}")
+    if runner.bus is not None:
+        runner.bus.close()
     return 0
 
 

@@ -31,12 +31,24 @@ up to ``max_attempts`` times in a fresh pool.  The report's
 The cell body (:func:`execute_cell`) is the single place a cell turns
 into numbers: it is what workers run, what the serial path runs, and
 what ``Runner.run_cell`` ultimately calls.
+
+**Sweep telemetry.**  Executors optionally narrate themselves into a
+:class:`~repro.obs.sweep.SweepEventBus` (``bus=``): cell
+scheduled/cached/started/finished/failed/retried/timed-out events,
+pool openings and breakages, worker spawns, and store quarantines.
+Workers measure per-cell resources
+(:class:`~repro.obs.sweep.CellResources`) and ship live events back
+over a multiprocessing queue the parent drains.  The plane is strictly
+out-of-band — with ``bus=None`` (the default) every hook site is one
+``is None`` branch and results are bit-identical either way.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import signal
+import threading
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
@@ -47,9 +59,11 @@ from repro.experiments.plan import CellSpec, Plan
 from repro.experiments.record import ExperimentRecord, build_experiment_record
 from repro.experiments.store import ResultStore
 from repro.metrics.recovery import RecoveryStats, recovery_stats
+from repro.obs import sweep as sweepbus
 from repro.obs.ledger import RunLedger
-from repro.obs.probes import host_wallclock
+from repro.obs.probes import host_epoch, host_wallclock
 from repro.obs.runmeta import build_record
+from repro.obs.sweep import CellResources, ResourceMeter, SweepEventBus
 from repro.pipeline import CloudSystem, SystemConfig
 from repro.regulators import make_regulator
 from repro.workloads import PLATFORMS, Resolution
@@ -89,6 +103,9 @@ class CellOutcome:
     wall_clock_s: float
     #: ``True`` when the result came from the store, not an execution.
     cached: bool
+    #: Worker-side resource telemetry (wall, CPU user/sys, peak RSS,
+    #: events/sec) for executed cells; ``None`` for cached cells.
+    resources: Optional[CellResources] = None
 
 
 @dataclass(frozen=True)
@@ -214,6 +231,15 @@ def execute_cell(
     caller once per plan, not per cell (workers may not even be inside
     the repo).
     """
+    sweepbus.emit_cell_event(
+        sweepbus.CELL_STARTED,
+        run_id=spec.run_id,
+        label=spec.label,
+        pid=os.getpid(),
+        epoch_s=host_epoch(),
+        faults=bool(spec.faults),
+        fault_class=spec.fault_class,
+    )
     _chaos_hooks(spec)
     combo_platform = PLATFORMS[spec.platform]
     resolution = Resolution(spec.resolution)
@@ -233,12 +259,16 @@ def execute_cell(
         # Ledger records need gate-delay statistics (telemetry) and
         # events/sec (engine probe), so ledger collection forces both on.
         telemetry = Telemetry(engine_probe=collect_ledger)
-    started = host_wallclock()
+    meter = ResourceMeter()
     system = CloudSystem(
         sys_config, regulator, telemetry=telemetry, fault_plan=spec.fault_plan()
     )
     result = system.run()
-    wall_clock_s = host_wallclock() - started
+    events_fired: Optional[int] = None
+    if telemetry is not None and telemetry.probe is not None:
+        events_fired = int(telemetry.probe.events_fired)
+    resources = meter.finish(events_fired=events_fired)
+    wall_clock_s = resources.wall_s
 
     ledger_record: Optional[Dict[str, Any]] = None
     if collect_ledger:
@@ -275,6 +305,7 @@ def execute_cell(
         ledger_record=ledger_record,
         wall_clock_s=wall_clock_s,
         cached=False,
+        resources=resources,
     )
 
 
@@ -305,6 +336,7 @@ class SerialExecutor:
         ledger: Optional[RunLedger] = None,
         telemetry_dir: Optional[str] = None,
         git_rev: Optional[str] = None,
+        bus: Optional[SweepEventBus] = None,
     ) -> ExecutionReport:
         """Execute ``plan``; cached cells are recalled, the rest run.
 
@@ -312,33 +344,81 @@ class SerialExecutor:
         (and appended to ``ledger``) the moment it completes, so an
         interrupted sweep keeps everything finished so far.  A cell
         that fails becomes a :class:`CellFailure` on the (then partial)
-        report instead of aborting the sweep.
+        report instead of aborting the sweep.  With a ``bus``, every
+        scheduling decision and outcome is narrated as sweep events —
+        observation only; the schedule is identical with or without it.
         """
         store = store if store is not None else ResultStore()
+        sweep_started = host_wallclock()
+        restore_quarantine = store.on_quarantine
+        if bus is not None:
+            bus.emit(
+                sweepbus.SWEEP_BEGIN,
+                cells=len(plan),
+                executor=self.name,
+                workers=getattr(self, "workers", 1),
+            )
+            store.on_quarantine = lambda run_id, path: bus.emit(
+                sweepbus.CELL_QUARANTINED, run_id=run_id, path=path
+            )
         outcomes: Dict[str, CellOutcome] = {}
         failures: Dict[str, CellFailure] = {}
-        missing: List[CellSpec] = []
-        for spec in plan:
-            record = store.get(spec.run_id)
-            if record is not None:
-                outcomes[spec.run_id] = CellOutcome(
-                    spec=spec,
-                    record=record,
-                    ledger_record=None,
-                    wall_clock_s=0.0,
-                    cached=True,
-                )
-            else:
-                missing.append(spec)
-        collect_ledger = ledger is not None
-        for item in self._execute(missing, collect_ledger, telemetry_dir, git_rev):
-            if isinstance(item, CellFailure):
-                failures[item.spec.run_id] = item
-                continue
-            store.put(item.spec.run_id, item.record)
-            if ledger is not None and item.ledger_record is not None:
-                ledger.append(item.ledger_record)
-            outcomes[item.spec.run_id] = item
+        try:
+            missing: List[CellSpec] = []
+            for spec in plan:
+                record = store.get(spec.run_id)
+                if record is not None:
+                    outcomes[spec.run_id] = CellOutcome(
+                        spec=spec,
+                        record=record,
+                        ledger_record=None,
+                        wall_clock_s=0.0,
+                        cached=True,
+                    )
+                    if bus is not None:
+                        bus.emit(sweepbus.CELL_CACHED, **_cell_fields(spec))
+                else:
+                    missing.append(spec)
+                    if bus is not None:
+                        bus.emit(sweepbus.CELL_SCHEDULED, **_cell_fields(spec))
+            collect_ledger = ledger is not None
+            for item in self._execute(
+                missing, collect_ledger, telemetry_dir, git_rev, bus
+            ):
+                if isinstance(item, CellFailure):
+                    failures[item.spec.run_id] = item
+                    if bus is not None:
+                        bus.emit(
+                            sweepbus.CELL_FAILED,
+                            error=item.error,
+                            attempts=item.attempts,
+                            **_cell_fields(item.spec),
+                        )
+                    continue
+                store.put(item.spec.run_id, item.record, exec_meta=_exec_meta(item))
+                if ledger is not None and item.ledger_record is not None:
+                    ledger.append(item.ledger_record)
+                outcomes[item.spec.run_id] = item
+                if bus is not None:
+                    resources = (
+                        item.resources.to_dict() if item.resources is not None else None
+                    )
+                    bus.emit(
+                        sweepbus.CELL_FINISHED,
+                        wall_s=item.wall_clock_s,
+                        resources=resources,
+                        **_cell_fields(item.spec),
+                    )
+        finally:
+            store.on_quarantine = restore_quarantine
+        if bus is not None:
+            bus.emit(
+                sweepbus.SWEEP_END,
+                executed=sum(1 for o in outcomes.values() if not o.cached),
+                cached=sum(1 for o in outcomes.values() if o.cached),
+                failed=len(failures),
+                wall_s=host_wallclock() - sweep_started,
+            )
         return ExecutionReport(
             outcomes=tuple(
                 outcomes[run_id] for run_id in plan.run_ids if run_id in outcomes
@@ -356,17 +436,105 @@ class SerialExecutor:
         collect_ledger: bool,
         telemetry_dir: Optional[str],
         git_rev: Optional[str],
+        bus: Optional[SweepEventBus] = None,
     ) -> Iterator[Union[CellOutcome, CellFailure]]:
-        for spec in specs:
+        if bus is not None:
+            # In-process execution: cell events go straight to the bus.
+            sweepbus.attach_worker_sink(
+                lambda kind, fields: bus.emit(kind, **fields)
+            )
+        try:
+            for spec in specs:
+                try:
+                    yield execute_cell(
+                        spec,
+                        collect_ledger=collect_ledger,
+                        telemetry_dir=telemetry_dir,
+                        git_rev=git_rev,
+                    )
+                except Exception as exc:
+                    yield CellFailure(spec, f"{type(exc).__name__}: {exc}", attempts=1)
+        finally:
+            if bus is not None:
+                sweepbus.detach_worker_sink()
+
+
+def _cell_fields(spec: CellSpec) -> Dict[str, Any]:
+    """The identifying fields every cell event carries."""
+    return {
+        "run_id": spec.run_id,
+        "label": spec.label,
+        "faults": bool(spec.faults),
+        "fault_class": spec.fault_class,
+    }
+
+
+def _exec_meta(outcome: CellOutcome) -> Optional[Dict[str, Any]]:
+    """Execution-cost metadata persisted with a freshly executed cell."""
+    if outcome.cached:
+        return None
+    meta: Dict[str, Any] = {"wall_clock_s": outcome.wall_clock_s}
+    if outcome.resources is not None:
+        meta["resources"] = outcome.resources.to_dict()
+    return meta
+
+
+def _queue_sink(queue: Any) -> Any:
+    """A worker sink that ships (kind, fields) tuples over ``queue``."""
+
+    def sink(kind: str, fields: Dict[str, Any]) -> None:
+        queue.put((kind, fields))
+
+    return sink
+
+
+def _sweep_worker_init(queue: Any) -> None:
+    """Pool-worker initializer: route cell events into the parent's queue."""
+    sweepbus.attach_worker_sink(_queue_sink(queue))
+    sweepbus.emit_cell_event(
+        sweepbus.WORKER_SPAWNED, pid=os.getpid(), epoch_s=host_epoch()
+    )
+
+
+class _EventQueueDrain:
+    """Parent-side pump: a manager queue drained into the bus by a thread.
+
+    The queue lives in a ``multiprocessing.Manager`` server process, so
+    a SIGKILLed pool worker cannot corrupt it mid-``put`` — the drain
+    keeps working through pool breakage and is stopped (sentinel +
+    join) when the executor finishes, hung workers notwithstanding.
+    """
+
+    def __init__(self, bus: SweepEventBus) -> None:
+        self._manager = multiprocessing.Manager()
+        self.queue = self._manager.Queue()
+        self._thread = threading.Thread(
+            target=self._pump, args=(bus,), name="sweep-event-drain", daemon=True
+        )
+        self._thread.start()
+
+    def _pump(self, bus: SweepEventBus) -> None:
+        while True:
             try:
-                yield execute_cell(
-                    spec,
-                    collect_ledger=collect_ledger,
-                    telemetry_dir=telemetry_dir,
-                    git_rev=git_rev,
-                )
-            except Exception as exc:
-                yield CellFailure(spec, f"{type(exc).__name__}: {exc}", attempts=1)
+                item = self.queue.get()
+            except (EOFError, OSError):  # manager went away
+                return
+            if item is None:
+                return
+            kind, fields = item
+            bus.emit(kind, **fields)
+
+    def stop(self) -> None:
+        """Drain remaining events, stop the thread, shut the manager down."""
+        try:
+            self.queue.put(None)
+        except Exception:
+            pass
+        self._thread.join(timeout=10.0)
+        try:
+            self._manager.shutdown()
+        except Exception:
+            pass
 
 
 class ParallelExecutor(SerialExecutor):
@@ -410,10 +578,13 @@ class ParallelExecutor(SerialExecutor):
         collect_ledger: bool,
         telemetry_dir: Optional[str],
         git_rev: Optional[str],
+        bus: Optional[SweepEventBus] = None,
     ) -> Iterator[Union[CellOutcome, CellFailure]]:
         workers = min(self.workers, len(specs))
         if workers <= 1:
-            yield from super()._execute(specs, collect_ledger, telemetry_dir, git_rev)
+            yield from super()._execute(
+                specs, collect_ledger, telemetry_dir, git_rev, bus
+            )
             return
         run_one = partial(
             execute_cell,
@@ -421,59 +592,94 @@ class ParallelExecutor(SerialExecutor):
             telemetry_dir=telemetry_dir,
             git_rev=git_rev,
         )
-        attempts: Dict[str, int] = {spec.run_id: 0 for spec in specs}
-        queue: List[CellSpec] = list(specs)
-        while queue:
-            batch, queue = queue, []
-            for spec in batch:
-                attempts[spec.run_id] += 1
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(batch)))
-            futures: List[Tuple[CellSpec, "Future[CellOutcome]"]] = [
-                (spec, pool.submit(run_one, spec)) for spec in batch
-            ]
-            hung = False
-            pool_broken = False
-            for spec, future in futures:
-                if pool_broken:
-                    # The pool already broke: cells that finished before
-                    # the crash still hold results; the rest re-queue.
-                    if future.done() and future.exception() is None:
-                        yield future.result()
-                    else:
-                        retry = self._requeue(spec, attempts[spec.run_id], queue)
+        drain = _EventQueueDrain(bus) if bus is not None else None
+        try:
+            attempts: Dict[str, int] = {spec.run_id: 0 for spec in specs}
+            queue: List[CellSpec] = list(specs)
+            while queue:
+                batch, queue = queue, []
+                for spec in batch:
+                    attempts[spec.run_id] += 1
+                pool_workers = min(workers, len(batch))
+                if drain is not None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=pool_workers,
+                        initializer=_sweep_worker_init,
+                        initargs=(drain.queue,),
+                    )
+                else:
+                    pool = ProcessPoolExecutor(max_workers=pool_workers)
+                if bus is not None:
+                    bus.emit(
+                        sweepbus.POOL_OPENED, workers=pool_workers, batch=len(batch)
+                    )
+                futures: List[Tuple[CellSpec, "Future[CellOutcome]"]] = [
+                    (spec, pool.submit(run_one, spec)) for spec in batch
+                ]
+                hung = False
+                pool_broken = False
+                for spec, future in futures:
+                    if pool_broken:
+                        # The pool already broke: cells that finished before
+                        # the crash still hold results; the rest re-queue.
+                        if future.done() and future.exception() is None:
+                            yield future.result()
+                        else:
+                            retry = self._requeue(
+                                spec, attempts[spec.run_id], queue, bus
+                            )
+                            if retry is not None:
+                                yield retry
+                        continue
+                    try:
+                        yield future.result(timeout=self.cell_timeout_s)
+                    except FuturesTimeoutError:
+                        hung = True
+                        if bus is not None:
+                            bus.emit(
+                                sweepbus.CELL_TIMED_OUT,
+                                timeout_s=self.cell_timeout_s,
+                                **_cell_fields(spec),
+                            )
+                        yield CellFailure(
+                            spec,
+                            f"timed out after {self.cell_timeout_s:g} s",
+                            attempts=attempts[spec.run_id],
+                        )
+                    except BrokenExecutor:
+                        pool_broken = True
+                        if bus is not None:
+                            bus.emit(sweepbus.POOL_BROKEN)
+                        retry = self._requeue(spec, attempts[spec.run_id], queue, bus)
                         if retry is not None:
                             yield retry
-                    continue
-                try:
-                    yield future.result(timeout=self.cell_timeout_s)
-                except FuturesTimeoutError:
-                    hung = True
-                    yield CellFailure(
-                        spec,
-                        f"timed out after {self.cell_timeout_s:g} s",
-                        attempts=attempts[spec.run_id],
-                    )
-                except BrokenExecutor:
-                    pool_broken = True
-                    retry = self._requeue(spec, attempts[spec.run_id], queue)
-                    if retry is not None:
-                        yield retry
-                except Exception as exc:
-                    yield CellFailure(
-                        spec,
-                        f"{type(exc).__name__}: {exc}",
-                        attempts=attempts[spec.run_id],
-                    )
-            # A hung worker would block a waiting shutdown forever;
-            # cancel what never started and leave it behind.
-            pool.shutdown(wait=not hung, cancel_futures=True)
+                    except Exception as exc:
+                        yield CellFailure(
+                            spec,
+                            f"{type(exc).__name__}: {exc}",
+                            attempts=attempts[spec.run_id],
+                        )
+                # A hung worker would block a waiting shutdown forever;
+                # cancel what never started and leave it behind.
+                pool.shutdown(wait=not hung, cancel_futures=True)
+        finally:
+            if drain is not None:
+                drain.stop()
 
     def _requeue(
-        self, spec: CellSpec, attempted: int, queue: List[CellSpec]
+        self,
+        spec: CellSpec,
+        attempted: int,
+        queue: List[CellSpec],
+        bus: Optional[SweepEventBus] = None,
     ) -> Optional[CellFailure]:
         """Re-queue a crash casualty, or fail it after ``max_attempts``."""
         if attempted < self.max_attempts:
             queue.append(spec)
+            if bus is not None:
+                bus.emit(
+                    sweepbus.CELL_RETRIED, attempt=attempted, **_cell_fields(spec)
+                )
             return None
         return CellFailure(
             spec,

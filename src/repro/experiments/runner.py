@@ -33,6 +33,7 @@ from repro.experiments.record import ExperimentRecord
 from repro.experiments.store import ResultStore
 from repro.obs.ledger import RunLedger
 from repro.obs.runmeta import git_revision
+from repro.obs.sweep import SweepEventBus
 from repro.workloads import BENCHMARKS
 
 __all__ = ["ExperimentRecord", "Runner"]
@@ -67,6 +68,10 @@ class Runner:
         #: When set, each executed cell appends a run record here.  A
         #: string is taken as the ledger directory.
         self.ledger: Optional[RunLedger] = None
+        #: When set, every plan execution narrates itself into this
+        #: sweep event bus (:mod:`repro.obs.sweep`) — observation only;
+        #: results are bit-identical with or without it.
+        self.bus: Optional[SweepEventBus] = None
         self._git_rev: Optional[str] = None
         if ledger is not None:
             self.attach_ledger(ledger)
@@ -103,6 +108,7 @@ class Runner:
             ledger=self.ledger,
             telemetry_dir=self.telemetry_dir,
             git_rev=self._git_rev,
+            bus=self.bus,
         )
         if report.failures and not allow_failures:
             raise ExecutionError(report)

@@ -31,7 +31,7 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.experiments.record import (
     RECORD_DICT_SCHEMA,
@@ -48,10 +48,15 @@ class ResultStore:
 
     def __init__(self, persist_dir: Optional[Union[str, Path]] = None) -> None:
         self._memory: Dict[str, ExperimentRecord] = {}
+        self._exec_meta: Dict[str, Dict[str, Any]] = {}
         self.persist_dir: Optional[Path] = Path(persist_dir) if persist_dir else None
         #: Lookup accounting, reset with :meth:`reset_stats`.
         self.hits = 0
         self.misses = 0
+        #: Observability hook: called as ``on_quarantine(run_id, path)``
+        #: whenever a corrupt cell file is moved aside (the sweep event
+        #: bus subscribes while an executor runs).
+        self.on_quarantine: Optional[Callable[[str, str], None]] = None
 
     def cell_path(self, run_id: str) -> Optional[Path]:
         """Where ``run_id`` persists, or ``None`` for a memory-only store."""
@@ -72,27 +77,86 @@ class ResultStore:
             self.hits += 1
         return record
 
-    def put(self, run_id: str, record: ExperimentRecord) -> None:
-        """Store a finished cell (written through to disk if persistent)."""
+    def put(
+        self,
+        run_id: str,
+        record: ExperimentRecord,
+        exec_meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Store a finished cell (written through to disk if persistent).
+
+        ``exec_meta`` — execution-cost metadata (wall clock, CPU,
+        RSS, ...) for a cell that actually simulated — rides along in
+        the persisted JSON so cached-vs-executed cost stays queryable
+        after the fact (:meth:`exec_meta`).  It is *not* part of the
+        record and never affects cache identity.
+        """
         self._memory[run_id] = record
+        if exec_meta is not None:
+            self._exec_meta[run_id] = dict(exec_meta)
         path = self.cell_path(run_id)
         if path is None:
             return
         os.makedirs(path.parent, exist_ok=True)
-        payload = {
+        payload: Dict[str, Any] = {
             "schema": RECORD_DICT_SCHEMA,
             "run_id": run_id,
             "record": record_as_dict(record),
         }
+        if exec_meta is not None:
+            payload["exec"] = dict(exec_meta)
         tmp = path.with_suffix(".json.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
             handle.write("\n")
         os.replace(tmp, path)
 
+    def exec_meta(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """Execution-cost metadata persisted with ``run_id``, if any.
+
+        Answers "what did this cached cell cost when it actually ran?"
+        — the memory tier is consulted first, then the persisted JSON.
+        Returns ``None`` for unknown cells and for cells stored before
+        cost metadata existed.
+        """
+        meta = self._exec_meta.get(run_id)
+        if meta is not None:
+            return dict(meta)
+        path = self.cell_path(run_id)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        meta = payload.get("exec")
+        if isinstance(meta, dict):
+            self._exec_meta[run_id] = meta
+            return dict(meta)
+        return None
+
+    def quarantined(self) -> List[str]:
+        """run_ids of corrupt cells moved to ``<persist_dir>/corrupt/``.
+
+        These are cells whose persisted JSON failed to decode (torn
+        writes from killed workers, full disks); the executor treats
+        them as misses and re-runs them, and the evidence stays here
+        for inspection.  Memory-only stores have none.
+        """
+        if self.persist_dir is None:
+            return []
+        corrupt_dir = self.persist_dir / "corrupt"
+        if not corrupt_dir.is_dir():
+            return []
+        return sorted(path.stem for path in corrupt_dir.glob("*.json"))
+
     def invalidate(self, run_id: str) -> None:
         """Forget one cell (memory and disk)."""
         self._memory.pop(run_id, None)
+        self._exec_meta.pop(run_id, None)
         path = self.cell_path(run_id)
         if path is not None and path.exists():
             path.unlink()
@@ -152,6 +216,8 @@ class ResultStore:
             os.replace(path, corrupt_dir / path.name)
         except OSError:
             return
+        if self.on_quarantine is not None:
+            self.on_quarantine(run_id, str(corrupt_dir / path.name))
         warnings.warn(
             f"result store: cell {run_id} failed to decode; "
             f"moved to {corrupt_dir / path.name} and will be re-executed",

@@ -46,7 +46,7 @@ from repro.obs.exporters import (
     write_jsonl,
 )
 from repro.obs.ledger import DEFAULT_LEDGER_DIR, RunLedger, load_record, resolve_record
-from repro.obs.probes import EngineProbe, host_wallclock
+from repro.obs.probes import EngineProbe, host_epoch, host_wallclock
 from repro.obs.profiler import SimProfiler, stage_for_process
 from repro.obs.runmeta import (
     build_record,
@@ -66,11 +66,26 @@ from repro.obs.registry import (
     SeriesKey,
 )
 from repro.obs.spans import PIPELINE_STAGES, FrameSpan, SpanStore, StageInterval
+from repro.obs.sweep import (
+    EVENT_SCHEMA,
+    CellResources,
+    ResourceMeter,
+    SweepEvent,
+    SweepEventBus,
+    disabled_overhead_report,
+    events_path_for,
+    read_events,
+    sweep_ids,
+    validate_events,
+    validate_events_file,
+)
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "DEFAULT_LEDGER_DIR",
+    "EVENT_SCHEMA",
     "PIPELINE_STAGES",
+    "CellResources",
     "Counter",
     "EngineProbe",
     "FrameSpan",
@@ -80,25 +95,35 @@ __all__ = [
     "MetricComparison",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "ResourceMeter",
     "RunLedger",
     "SentinelReport",
     "SeriesKey",
     "SimProfiler",
     "SpanStore",
     "StageInterval",
+    "SweepEvent",
+    "SweepEventBus",
     "Telemetry",
     "build_record",
     "chrome_trace",
     "compare_records",
     "config_fingerprint",
+    "disabled_overhead_report",
+    "events_path_for",
     "git_revision",
+    "host_epoch",
     "host_wallclock",
     "jsonl_lines",
     "load_record",
     "metrics_digest",
+    "read_events",
     "resolve_record",
     "run_id_for",
     "stage_for_process",
+    "sweep_ids",
+    "validate_events",
+    "validate_events_file",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -31,7 +31,21 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["EngineProbe", "host_wallclock"]
+__all__ = ["EngineProbe", "host_epoch", "host_wallclock"]
+
+
+def host_epoch() -> float:
+    """Host epoch seconds (``time.time``), comparable across processes.
+
+    :func:`host_wallclock` is the right clock for intervals, but its
+    epoch is unspecified per process; sweep-level telemetry
+    (:mod:`repro.obs.sweep`) needs timestamps a parent and its pool
+    workers can put on one timeline, which only the system clock
+    provides.  Like every clock read, it lives here — the single
+    R2-allowlisted site — and is a measurement *about* execution, never
+    an input to simulation behaviour.
+    """
+    return time.time()
 
 
 def host_wallclock() -> float:

@@ -1,0 +1,221 @@
+"""Whole-sweep Chrome traces: one span per cell, one lane per worker.
+
+:func:`sweep_chrome_trace` converts a sweep's event log
+(:mod:`repro.obs.sweep`) into the Chrome Trace Format, complementing
+the existing *per-run* traces (:mod:`repro.obs.exporters`) one level
+up: instead of pipeline stages inside one simulation, the slices here
+are whole cells laid out on the worker processes that executed them.
+The mapping:
+
+* each worker process becomes one trace *thread* inside a single
+  ``sweep`` process — workers sort by pid, the parent's serial lane
+  first;
+* each executed cell becomes a complete ("X") event spanning the
+  cell's measured wall time (from its worker-side
+  :class:`~repro.obs.sweep.CellResources`), carrying run_id, label,
+  CPU seconds, peak RSS, and events/sec in ``args``;
+* fault-plan cells keep their span but take the ``fault`` category and
+  a distinct colour, so chaos cells stand out from the plain matrix;
+* cached cells become instant ("i") events on a dedicated ``cached``
+  lane — they consumed no worker time, but their positions show where
+  the resume scan spent the sweep's opening moments;
+* failures, timeouts, retries, quarantines, and pool breakages become
+  instant events on a ``sweep`` control lane;
+* a ``cells_done`` counter track accumulates completions over time —
+  its slope *is* the sweep's throughput.
+
+Sweep events carry host-epoch timestamps (comparable across
+processes); the trace re-bases them so t=0 is the sweep's first event.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs import sweep as sweepbus
+from repro.obs.sweep import SweepEvent
+
+__all__ = ["sweep_chrome_trace", "write_sweep_trace"]
+
+_S_TO_US = 1e6
+
+#: Reserved tids inside the single sweep trace process.
+_CONTROL_TID = 0
+_CACHED_TID = 1
+#: Worker lanes start here, one tid per worker pid.
+_FIRST_WORKER_TID = 2
+
+#: Chrome trace reserved colour names.
+_CNAME_FAULT = "terrible"
+_CNAME_CACHED = "grey"
+
+
+def _meta(name: str, tid: int, value: str) -> Dict[str, Any]:
+    return {"ph": "M", "name": name, "pid": 0, "tid": tid, "args": {"name": value}}
+
+
+def _sort_index(tid: int) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": "thread_sort_index",
+        "pid": 0,
+        "tid": tid,
+        "args": {"sort_index": tid},
+    }
+
+
+def _instant(name: str, cat: str, ts_us: float, tid: int, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "ph": "i",
+        "name": name,
+        "cat": cat,
+        "s": "t",
+        "ts": ts_us,
+        "pid": 0,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def sweep_chrome_trace(events: Sequence[SweepEvent]) -> Dict[str, Any]:
+    """Build the Chrome Trace Format object for one sweep's events."""
+    trace_events: List[Dict[str, Any]] = [
+        _meta("process_name", 0, "sweep"),
+        _meta("thread_name", _CONTROL_TID, "sweep control"),
+        _sort_index(_CONTROL_TID),
+        _meta("thread_name", _CACHED_TID, "cached cells"),
+        _sort_index(_CACHED_TID),
+    ]
+    if not events:
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    base_epoch = min(event.epoch_s for event in events)
+
+    def rebase(epoch_s: float) -> float:
+        return max(0.0, epoch_s - base_epoch) * _S_TO_US
+
+    worker_tids: Dict[int, int] = {}
+
+    def lane_for(pid: int) -> int:
+        tid = worker_tids.get(pid)
+        if tid is None:
+            tid = _FIRST_WORKER_TID + len(worker_tids)
+            worker_tids[pid] = tid
+            trace_events.append(_meta("thread_name", tid, f"worker pid {pid}"))
+            trace_events.append(_sort_index(tid))
+        return tid
+
+    #: run_id -> the pending cell_started event, for cells that never finish.
+    started: Dict[str, SweepEvent] = {}
+    cells_done = 0
+
+    for event in events:
+        ts_us = rebase(event.epoch_s)
+        args: Dict[str, Any] = {"run_id": event.run_id}
+        label = event.get("label")
+        if label:
+            args["label"] = label
+
+        if event.kind == sweepbus.CELL_STARTED:
+            started[event.run_id] = event
+        elif event.kind == sweepbus.CELL_FINISHED:
+            started.pop(event.run_id, None)
+            resources = event.get("resources")
+            if isinstance(resources, dict):
+                span_start = float(resources.get("started_epoch_s", event.epoch_s))
+                duration_s = float(resources.get("wall_s", event.get("wall_s", 0.0)))
+                args.update(
+                    {
+                        "cpu_user_s": resources.get("cpu_user_s"),
+                        "cpu_sys_s": resources.get("cpu_sys_s"),
+                        "max_rss_kb": resources.get("max_rss_kb"),
+                        "events_per_sec": resources.get("events_per_sec"),
+                    }
+                )
+                pid = int(resources.get("pid", 0))
+            else:
+                duration_s = float(event.get("wall_s", 0.0))
+                span_start = event.epoch_s - duration_s
+                pid = 0
+            span: Dict[str, Any] = {
+                "ph": "X",
+                "name": str(label or event.run_id),
+                "cat": "fault" if event.get("faults") else "cell",
+                "ts": rebase(span_start),
+                "dur": max(duration_s, 0.0) * _S_TO_US,
+                "pid": 0,
+                "tid": lane_for(pid),
+                "args": args,
+            }
+            if event.get("faults"):
+                span["cname"] = _CNAME_FAULT
+                args["fault_class"] = event.get("fault_class")
+            trace_events.append(span)
+            cells_done += 1
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "name": "cells_done",
+                    "cat": "sweep",
+                    "ts": ts_us,
+                    "pid": 0,
+                    "tid": _CONTROL_TID,
+                    "args": {"done": cells_done},
+                }
+            )
+        elif event.kind == sweepbus.CELL_CACHED:
+            cached = _instant(f"cached:{label or event.run_id}", "cached", ts_us, _CACHED_TID, args)
+            cached["cname"] = _CNAME_CACHED
+            trace_events.append(cached)
+        elif event.kind in (sweepbus.CELL_FAILED, sweepbus.CELL_TIMED_OUT):
+            begin = started.pop(event.run_id, None)
+            if begin is not None:
+                # A cell that started but never finished: render the
+                # doomed attempt as a span up to the failure verdict.
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "name": f"{event.kind}:{label or event.run_id}",
+                        "cat": "failure",
+                        "cname": _CNAME_FAULT,
+                        "ts": rebase(begin.epoch_s),
+                        "dur": max(0.0, event.epoch_s - begin.epoch_s) * _S_TO_US,
+                        "pid": 0,
+                        "tid": lane_for(int(begin.get("pid", 0))),
+                        "args": args,
+                    }
+                )
+            if event.kind == sweepbus.CELL_FAILED:
+                args["error"] = event.get("error")
+            trace_events.append(_instant(event.kind, "failure", ts_us, _CONTROL_TID, args))
+        elif event.kind in (
+            sweepbus.CELL_RETRIED,
+            sweepbus.CELL_QUARANTINED,
+            sweepbus.POOL_BROKEN,
+            sweepbus.POOL_OPENED,
+            sweepbus.WORKER_SPAWNED,
+            sweepbus.SWEEP_BEGIN,
+            sweepbus.SWEEP_END,
+        ):
+            extra = {
+                key: value
+                for key, value in event.fields.items()
+                if isinstance(value, (str, int, float, bool))
+            }
+            args.update(extra)
+            trace_events.append(_instant(event.kind, "sweep", ts_us, _CONTROL_TID, args))
+
+    trace_events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_sweep_trace(
+    events: Sequence[SweepEvent], path: Union[str, Path], indent: Optional[int] = None
+) -> int:
+    """Write the whole-sweep Chrome trace to ``path``; returns event count."""
+    trace = sweep_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=indent)
+    return len(trace["traceEvents"])

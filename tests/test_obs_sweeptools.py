@@ -1,0 +1,320 @@
+"""Tests for the tools built on the sweep event log: the live
+dashboard, the whole-sweep Chrome trace, and the cost-attribution
+report.
+
+All three are pure consumers — they are fed synthetic or real
+:class:`~repro.obs.sweep.SweepEvent` streams and never touch the
+executor, so these tests exercise rendering/aggregation logic in
+isolation (plus one end-to-end pass over a real sweep's log).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments import CellSpec, ParallelExecutor, Plan, SerialExecutor
+from repro.obs import sweep as sweepbus
+from repro.obs.cost import render_cost, sweep_cost
+from repro.obs.dashboard import SweepDashboard, follow_events
+from repro.obs.sweep import SweepEvent, SweepEventBus, read_events
+from repro.obs.sweeptrace import sweep_chrome_trace, write_sweep_trace
+
+DURATION_MS = 2000.0
+WARMUP_MS = 500.0
+
+
+def spec(benchmark="IM", regulator="ODR60", seed=1) -> CellSpec:
+    return CellSpec(
+        benchmark=benchmark,
+        platform="private",
+        resolution="720p",
+        regulator=regulator,
+        seed=seed,
+        duration_ms=DURATION_MS,
+        warmup_ms=WARMUP_MS,
+    )
+
+
+def make_event(kind, seq, epoch_s, **fields) -> SweepEvent:
+    return SweepEvent(
+        sweep_id="synthetic", seq=seq, kind=kind, t_s=epoch_s, epoch_s=epoch_s,
+        fields=fields,
+    )
+
+
+def synthetic_sweep():
+    """A hand-built two-worker sweep: 2 executed, 1 cached, 1 failed."""
+    resources_a = {
+        "pid": 101, "started_epoch_s": 10.5, "wall_s": 2.0,
+        "cpu_user_s": 1.5, "cpu_sys_s": 0.1, "max_rss_kb": 50000,
+        "events_fired": 4000, "events_per_sec": 2000.0,
+    }
+    resources_b = {
+        "pid": 102, "started_epoch_s": 10.6, "wall_s": 1.0,
+        "cpu_user_s": 0.8, "cpu_sys_s": 0.05, "max_rss_kb": 40000,
+        "events_fired": 1000, "events_per_sec": 1000.0,
+    }
+    return [
+        make_event("sweep_begin", 0, 10.0, cells=4, executor="parallel", workers=2),
+        make_event("cell_cached", 1, 10.05, run_id="cc", label="IM/cached"),
+        make_event("cell_scheduled", 2, 10.1, run_id="aa", label="IM/a"),
+        make_event("cell_scheduled", 3, 10.1, run_id="bb", label="RE/b"),
+        make_event("cell_scheduled", 4, 10.1, run_id="dd", label="STK/d"),
+        make_event("pool_opened", 5, 10.2, workers=2, batch=3),
+        make_event("worker_spawned", 6, 10.4, pid=101),
+        make_event("worker_spawned", 7, 10.45, pid=102),
+        make_event("cell_started", 8, 10.5, run_id="aa", label="IM/a", pid=101),
+        make_event("cell_started", 9, 10.6, run_id="bb", label="RE/b", pid=102),
+        make_event("cell_started", 10, 11.7, run_id="dd", label="STK/d", pid=102),
+        make_event(
+            "cell_finished", 11, 12.6, run_id="aa", label="IM/a", wall_s=2.0,
+            faults=True, fault_class="spike", resources=resources_a,
+        ),
+        make_event(
+            "cell_finished", 12, 12.7, run_id="bb", label="RE/b", wall_s=1.0,
+            resources=resources_b,
+        ),
+        make_event(
+            "cell_failed", 13, 12.8, run_id="dd", label="STK/d",
+            error="ValueError: boom", attempts=2,
+        ),
+        make_event(
+            "sweep_end", 14, 13.0, executed=2, cached=1, failed=1, wall_s=3.0
+        ),
+    ]
+
+
+class TestSweepTrace:
+    def test_spans_lanes_and_colors(self):
+        trace = sweep_chrome_trace(synthetic_sweep())
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        # Lane metadata: control, cached, and one lane per worker pid.
+        names = {
+            (e["tid"], e["args"]["name"])
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert (0, "sweep control") in names
+        assert (1, "cached cells") in names
+        assert any(value == "worker pid 101" for _, value in names)
+        assert any(value == "worker pid 102" for _, value in names)
+        spans = [e for e in events if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        # Executed cell: positioned by worker-measured start, not
+        # parent harvest order.
+        cell = by_name["RE/b"]
+        assert cell["cat"] == "cell"
+        assert cell["ts"] == pytest.approx((10.6 - 10.0) * 1e6)
+        assert cell["dur"] == pytest.approx(1.0 * 1e6)
+        assert cell["args"]["cpu_user_s"] == 0.8
+        assert cell["args"]["max_rss_kb"] == 40000
+        # Fault-plan cell: distinct category and reserved color.
+        fault = by_name["IM/a"]
+        assert fault["cat"] == "fault" and fault["cname"] == "terrible"
+        assert fault["args"]["fault_class"] == "spike"
+        # Cached cell: grey instant on the cached lane.
+        cached = [e for e in events if e["ph"] == "i" and e["cat"] == "cached"]
+        assert len(cached) == 1
+        assert cached[0]["tid"] == 1 and cached[0]["cname"] == "grey"
+        # Failed cell: doomed-attempt span plus control-lane instant.
+        doomed = by_name["cell_failed:STK/d"]
+        assert doomed["cat"] == "failure"
+        assert doomed["dur"] == pytest.approx((12.8 - 11.7) * 1e6)
+        fails = [e for e in events if e["ph"] == "i" and e["cat"] == "failure"]
+        assert fails[0]["args"]["error"] == "ValueError: boom"
+        # The throughput counter accumulates completions.
+        counters = [e for e in events if e["ph"] == "C"]
+        assert [c["args"]["done"] for c in counters] == [1, 2]
+
+    def test_empty_events_trace_is_valid(self):
+        trace = sweep_chrome_trace([])
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+
+    def test_write_sweep_trace_roundtrip(self, tmp_path):
+        out = tmp_path / "sweep.trace.json"
+        count = write_sweep_trace(synthetic_sweep(), out)
+        loaded = json.loads(out.read_text(encoding="utf-8"))
+        assert len(loaded["traceEvents"]) == count
+        assert count > 10
+
+    def test_real_sweep_end_to_end(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        plan = Plan([spec("IM"), spec("STK")])
+        with SweepEventBus(path=path) as bus:
+            ParallelExecutor(workers=2).run(plan, bus=bus)
+        trace = sweep_chrome_trace(read_events(path))
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2
+        for span in spans:
+            assert span["dur"] > 0
+            assert span["args"]["max_rss_kb"] > 0
+
+
+class TestCost:
+    def test_breakdown_from_synthetic_sweep(self):
+        report = sweep_cost(synthetic_sweep())
+        assert report["sweep_id"] == "synthetic"
+        assert report["cells"] == 4 and report["workers"] == 2
+        assert report["executed"] == 2 and report["cached"] == 1
+        assert report["failed"] == 1
+        assert report["pools_opened"] == 1
+        assert report["cache_hit_ratio"] == pytest.approx(1 / 3)
+        # Warmup: pool opened at 10.2, first cell started at 10.5.
+        assert report["pool_warmup_s"] == pytest.approx(0.3)
+        # Lanes: pid 101 busy 2.0s, pid 102 busy 1.0s.
+        assert report["busy_s_by_pid"] == {"101": 2.0, "102": 1.0}
+        assert report["busy_s_total"] == pytest.approx(3.0)
+        assert report["cell_skew_s"] == pytest.approx(1.0)
+        # Serialization: 3.0 wall - 0.3 warmup - 2.0 busiest lane.
+        assert report["serialization_s"] == pytest.approx(0.7)
+        assert report["parallel_efficiency"] == pytest.approx(3.0 / (2 * 3.0))
+        # Rows sort slowest-first.
+        assert [row["run_id"] for row in report["cell_rows"]] == ["aa", "bb"]
+
+    def test_render_cost_mentions_every_budget_term(self):
+        text = render_cost(sweep_cost(synthetic_sweep()), top=1)
+        assert "pool_warmup" in text
+        assert "cell_skew" in text
+        assert "serialization" in text
+        assert "parallel_efficiency" in text
+        assert "cache_hit=33%" in text
+        assert "slowest cells (top 1 of 2)" in text
+        assert "IM/a" in text and "RE/b" not in text  # top=1 truncates
+
+    def test_empty_events(self):
+        report = sweep_cost([])
+        assert report["cells"] == 0 and report["cell_rows"] == []
+        assert report["serialization_s"] is None
+        assert "0 cell(s)" in render_cost(report)
+
+
+class TestDashboard:
+    def feed(self, events, **kwargs):
+        stream = io.StringIO()
+        dash = SweepDashboard(stream=stream, ansi=kwargs.pop("ansi", False), **kwargs)
+        for event in events:
+            dash.handle(event)
+        return dash, stream.getvalue()
+
+    def test_counters_and_plain_lines(self):
+        dash, output = self.feed(synthetic_sweep())
+        assert dash.total_cells == 4 and dash.workers == 2
+        assert dash.finished == 2 and dash.cached == 1 and dash.failed == 1
+        assert dash.ended
+        lines = output.strip().splitlines()
+        assert lines[0] == "sweep begin: 4 cell(s) via parallel x2"
+        assert any(line.endswith("done IM/a (2.00s)") for line in lines)
+        assert "[4/4] FAILED STK/d" in lines
+        assert lines[-1].startswith("sweep end: executed=2 cached=1 failed=1")
+
+    def test_lanes_track_in_flight_cells_by_run_id(self):
+        events = synthetic_sweep()
+        # Stop right after both workers picked up their first cells.
+        dash, _ = self.feed(events[:10])
+        assert set(dash.active) == {101, 102}
+        assert dash.active[101][0] == "aa"
+        # One cell finishing clears exactly its own lane.
+        dash.handle(events[10])  # pid 102 moves on to "dd"
+        dash.handle(events[11])  # "aa" finishes
+        assert 101 not in dash.active
+        assert dash.active[102][0] == "dd"
+
+    def test_render_snapshot_mid_sweep(self):
+        events = synthetic_sweep()
+        dash, _ = self.feed(events[:11], now=lambda: 11.0)
+        text = dash.render()
+        assert text.startswith("sweep: 1/4 cells  [parallel x2]")
+        assert "pid     102: STK/d" in text
+
+    def test_eta_uses_mean_wall_over_workers(self):
+        events = synthetic_sweep()
+        dash, _ = self.feed(events[:13])  # both executed cells done
+        # 1 of 4 cells remains; mean executed wall (2.0+1.0)/2 over 2 workers.
+        assert dash.eta_s() == pytest.approx(1 * 1.5 / 2)
+        dash.handle(events[13])
+        dash.handle(events[14])
+        assert dash.eta_s() is None  # sweep over
+
+    def test_throughput(self):
+        events = synthetic_sweep()
+        dash, _ = self.feed(events[:13], now=lambda: 13.0)
+        # 2 cells finished over 3 epoch-seconds since sweep_begin.
+        assert dash.throughput_cells_per_min() == pytest.approx(2 / 3.0 * 60)
+
+    def test_new_sweep_begin_resets_state(self):
+        events = synthetic_sweep()
+        dash, _ = self.feed(events)
+        assert dash.finished == 2
+        dash.handle(make_event("sweep_begin", 0, 20.0, cells=1,
+                               executor="serial", workers=1))
+        assert dash.finished == 0 and dash.failed == 0
+        assert not dash.ended and dash.active == {} and dash.failures == []
+
+    def test_failure_tail_is_bounded(self):
+        dash = SweepDashboard(stream=io.StringIO(), ansi=False)
+        for i in range(12):
+            dash._push_failure(f"f{i}")
+        assert len(dash.failures) == 5
+        assert dash.failures[-1] == "f11"
+
+    def test_ansi_mode_repaints_in_place(self):
+        stream = io.StringIO()
+        dash = SweepDashboard(stream=stream, ansi=True)
+        for event in synthetic_sweep()[:2]:
+            dash.handle(event)
+        output = stream.getvalue()
+        assert "\x1b[" in output  # cursor-up + clear control sequences
+        assert dash._painted_lines == dash.render().count("\n") + 1
+
+    def test_pool_broken_clears_lanes_and_notes_it(self):
+        events = synthetic_sweep()
+        dash, _ = self.feed(events[:10] + [make_event("pool_broken", 10, 11.0)])
+        assert dash.active == {}
+        assert any("pool broke" in f for f in dash.failures)
+
+
+class TestFollowEvents:
+    def test_follow_replays_to_sweep_end(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with SweepEventBus(path=path) as bus:
+            bus.emit(sweepbus.SWEEP_BEGIN, cells=0, executor="serial", workers=1)
+            bus.emit(sweepbus.SWEEP_END, executed=0, cached=0, failed=0,
+                     wall_s=0.0)
+        dash = SweepDashboard(stream=io.StringIO(), ansi=False)
+        consumed = follow_events(str(path), dash, poll_s=0.01, timeout_s=2.0)
+        assert consumed == 2
+        assert dash.ended
+
+    def test_follow_times_out_on_missing_file(self, tmp_path):
+        dash = SweepDashboard(stream=io.StringIO(), ansi=False)
+        consumed = follow_events(
+            str(tmp_path / "never.jsonl"), dash, poll_s=0.01, timeout_s=0.05
+        )
+        assert consumed == 0
+
+    def test_follow_skips_junk_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with SweepEventBus(path=path) as bus:
+            bus.emit(sweepbus.SWEEP_BEGIN, cells=0, executor="serial", workers=1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n[1,2]\n")
+        with SweepEventBus(path=path) as bus:
+            bus.emit(sweepbus.SWEEP_END, executed=0, cached=0, failed=0,
+                     wall_s=0.0)
+        dash = SweepDashboard(stream=io.StringIO(), ansi=False)
+        consumed = follow_events(str(path), dash, poll_s=0.01, timeout_s=2.0)
+        assert consumed == 2
+
+    def test_follow_live_serial_sweep(self, tmp_path):
+        """Follow the log a real serial sweep writes, post hoc."""
+        path = tmp_path / "events.jsonl"
+        with SweepEventBus(path=path) as bus:
+            SerialExecutor().run(Plan([spec("IM")]), bus=bus)
+        stream = io.StringIO()
+        dash = SweepDashboard(stream=stream, ansi=False)
+        consumed = follow_events(str(path), dash, poll_s=0.01, timeout_s=2.0)
+        assert consumed == 5  # begin, scheduled, started, finished, end
+        assert dash.ended and dash.finished == 1
+        assert "sweep end:" in stream.getvalue()
