@@ -35,6 +35,7 @@ from repro.workloads.benchmarks import BenchmarkProfile
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.system import RunResult
+    from repro.simcore.rng import SeededRng
 
 __all__ = [
     "RecordedStageModel",
@@ -85,7 +86,7 @@ class RecordedStageModel:
             raise ValueError("scale factor must be positive")
         return RecordedStageModel(self.durations, self.scale * factor)
 
-    def sampler(self, rng) -> ReplaySampler:  # rng accepted for interface parity
+    def sampler(self, rng: "SeededRng") -> ReplaySampler:  # rng accepted for interface parity
         return ReplaySampler(list(self.durations), self.scale)
 
 

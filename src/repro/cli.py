@@ -26,6 +26,9 @@ the sweep runs); ``matrix`` additionally takes ``--benchmarks`` /
     breakdown   decompose MtP latency by pipeline component
     list        list benchmarks, platforms, and configuration labels
     lint        run the simlint determinism/DES-correctness static analysis
+    analyze     whole-program determinism analyzer: call-graph purity
+                dataflow, cache-key/schema drift checks, fork safety
+                (text/json/sarif output, suppression baseline, cache)
     verify-determinism
                 run one scenario twice under the same seed and compare
                 schedule fingerprints
@@ -63,6 +66,11 @@ from repro.regulators import make_regulator
 from repro.workloads import BENCHMARKS, PLATFORMS, Resolution
 
 __all__ = ["main"]
+
+#: Default locations for the analyzer's checked-in suppression baseline
+#: and its (gitignored) per-file-hash facts cache.
+DEFAULT_ANALYZE_BASELINE = ".odr-analyze-baseline.json"
+DEFAULT_ANALYZE_CACHE = ".odr-analyze-cache.json"
 
 
 def _add_exec_args(sub: argparse.ArgumentParser) -> None:
@@ -280,6 +288,54 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-program determinism analyzer: purity dataflow, "
+             "contract drift, fork safety",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src/repro", "tests"],
+        help="files or directories to analyze (default: src/repro tests)",
+    )
+    analyze.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        dest="fmt", help="output format",
+    )
+    analyze.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (e.g. P1,C1); default: all",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    analyze.add_argument(
+        "--explain", metavar="RULE",
+        help="print the long-form explanation for one rule and exit",
+    )
+    analyze.add_argument(
+        "--baseline", default=DEFAULT_ANALYZE_BASELINE,
+        help="suppression baseline file (default: %(default)s); "
+             "'none' disables",
+    )
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="adopt every current finding into the baseline file and exit 0",
+    )
+    analyze.add_argument(
+        "--cache", default=DEFAULT_ANALYZE_CACHE,
+        help="per-file-hash facts cache (default: %(default)s); "
+             "'none' disables",
+    )
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the facts cache",
+    )
+    analyze.add_argument(
+        "--stats", action="store_true",
+        help="print cache hit/miss and timing stats to stderr",
     )
 
     verify = sub.add_parser(
@@ -567,6 +623,69 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(
             f"simlint: {len(report.findings)} finding(s) in "
             f"{report.files_scanned} file(s)" + (f"  [{counts}]" if counts else "")
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.analyzer import RULES, analyze, explain, to_sarif
+    from repro.devtools.analyzer.baseline import write_baseline_payload
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    if args.explain:
+        text = explain(args.explain)
+        if text is None:
+            print(f"analyze: unknown rule {args.explain!r}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+    select = args.select.split(",") if args.select else None
+    baseline_path = None if args.baseline == "none" else args.baseline
+    baseline_text = None
+    if baseline_path is not None and not args.write_baseline:
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as handle:
+                baseline_text = handle.read()
+        except FileNotFoundError:
+            baseline_text = None
+    cache_path = None if (args.no_cache or args.cache == "none") else args.cache
+    try:
+        report = analyze(
+            args.paths,
+            select=select,
+            baseline_text=baseline_text,
+            cache_path=cache_path,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        if baseline_path is None:
+            print("analyze: --write-baseline needs a baseline path", file=sys.stderr)
+            return 2
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write(write_baseline_payload(list(report.findings)))
+        print(
+            f"analyze: wrote {len(report.findings)} entr(y/ies) to {baseline_path}"
+        )
+        return 0
+    if args.fmt == "json":
+        print(report.to_json())
+    elif args.fmt == "sarif":
+        print(to_sarif(list(report.findings)))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print(report.summary_line())
+    if args.stats:
+        print(
+            f"analyze: {report.files_scanned} file(s) in "
+            f"{report.elapsed_s:.2f}s (cache: {report.cache_hits} hit(s), "
+            f"{report.cache_misses} miss(es))",
+            file=sys.stderr,
         )
     return 0 if report.ok else 1
 
@@ -1171,6 +1290,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "verify-determinism":
         return _cmd_verify_determinism(args)
     if args.command == "profile":

@@ -1,0 +1,87 @@
+"""Per-file-hash fact cache: warm runs skip the parse, never the passes.
+
+Extraction (:func:`~repro.devtools.analyzer.facts.extract_module`) is
+the analyzer's expensive phase — one full AST walk per file.  The cache
+stores each file's serialized :class:`ModuleFacts` keyed by the SHA-256
+of its *content*, so a warm run re-parses only files whose bytes
+changed; renames hit too, because the key is the content hash, not the
+path.  The whole-program passes always run fresh — they are cheap and
+depend on the cross-product of files, which no per-file key captures.
+
+The cache file is a plain JSON object, versioned so a facts-schema
+change invalidates everything at once, and it is advisory: a missing,
+corrupt, or stale-version cache means a cold run, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping, Optional
+
+from repro.devtools.analyzer.facts import ModuleFacts, facts_from_payload
+
+__all__ = ["FactsCache"]
+
+#: Bump when the ModuleFacts payload shape changes.
+CACHE_VERSION = 1
+
+
+class FactsCache:
+    """Content-addressed facts store backed by one JSON file."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Any] = {}
+        self._dirty = False
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("version") == CACHE_VERSION
+                    and isinstance(payload.get("entries"), dict)
+                ):
+                    self._entries = payload["entries"]
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(self, sha: str) -> Optional[ModuleFacts]:
+        payload = self._entries.get(sha)
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            facts = facts_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts
+
+    def put(self, facts: ModuleFacts) -> None:
+        self._entries[facts.sha] = facts.to_payload()
+        self._dirty = True
+
+    def prune(self, live_shas: Mapping[str, str]) -> None:
+        """Drop entries for content no longer present in the tree."""
+        live = set(live_shas.values())
+        dead = [sha for sha in self._entries if sha not in live]
+        for sha in dead:
+            del self._entries[sha]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {"version": CACHE_VERSION, "entries": self._entries}
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # advisory: a read-only checkout just runs cold

@@ -1,0 +1,152 @@
+"""Fork-safety pass: what crosses a process boundary must be rebuildable.
+
+``ParallelExecutor`` ships work to ``multiprocessing`` children by
+pickling the callable and its arguments.  Two classes of hazard:
+
+``F1``
+    The callable itself is not picklable by construction — a lambda, a
+    nested/local function, or a bound method of an unresolvable object.
+    These fail at submit time on spawn-start platforms (macOS, Windows)
+    while silently working under fork, which is exactly the kind of
+    environment-dependent behavior the reproduction forbids.
+``F2``
+    An argument (or ``partial`` binding) smuggles a live handle across
+    the boundary: an open file, a lock/condition/event, or an RNG whose
+    state forks with the process.  Even when these *pickle*, the child's
+    copy shares nothing with the parent — RNG streams duplicate, locks
+    deadlock nobody — so the rule is rebuild-in-child, never smuggle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.devtools.analyzer.facts import SMUGGLED_FACTORIES, ModuleFacts
+from repro.devtools.analyzer.findings import Finding
+from repro.devtools.analyzer.graph import ProgramGraph
+
+__all__ = ["fork_safety_findings"]
+
+
+def _resolve_callee(
+    graph: ProgramGraph, mod: ModuleFacts, callee: str
+) -> Optional[str]:
+    """Resolve a submit-site callee to a module-level FunctionId."""
+    if "." in callee:
+        head, _, rest = callee.partition(".")
+        target_mod = mod.imports.get(head)
+        if target_mod and f"{target_mod}:{rest}" in graph.functions:
+            return f"{target_mod}:{rest}"
+        return None
+    local = f"{mod.module}:{callee}"
+    if local in graph.functions:
+        return local
+    target = mod.from_imports.get(callee)
+    if target is not None:
+        owner, _, leaf = target.rpartition(".")
+        fid = f"{owner}:{leaf}"
+        if fid in graph.functions:
+            return fid
+    return None
+
+
+def _is_module_level(graph: ProgramGraph, fid: str) -> bool:
+    qualname = fid.rsplit(":", 1)[1]
+    return "." not in qualname
+
+
+def fork_safety_findings(graph: ProgramGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    for mod in graph.modules.values():
+        for site in mod.submits:
+            callee = site.callee
+            is_partial = callee.startswith("partial:")
+            inner = callee[len("partial:"):] if is_partial else callee
+            # F1: the callable must be a module-level def (or a partial
+            # over one).  Lambdas and call-results are out.
+            if inner == "<lambda>":
+                findings.append(
+                    Finding(
+                        rule="F1",
+                        path=mod.path,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"lambda handed to {site.via}(): lambdas do not "
+                            f"pickle, so this breaks under spawn-start "
+                            f"multiprocessing"
+                        ),
+                        detail=f"{site.via}:lambda",
+                    )
+                )
+                continue
+            if inner in ("?", "partial:?") or inner.startswith("call:"):
+                # A dynamically produced callable we cannot resolve; only
+                # flag when it is plainly a closure factory result.
+                continue
+            resolved = _resolve_callee(graph, mod, inner)
+            if inner and not inner.startswith("self.") and "." not in inner:
+                if resolved is None:
+                    local_nested = any(
+                        q.endswith(f".{inner}") or q.startswith(f"{inner}.<locals>")
+                        for q in mod.functions
+                        if "." in q
+                    )
+                    if local_nested:
+                        findings.append(
+                            Finding(
+                                rule="F1",
+                                path=mod.path,
+                                line=site.line,
+                                col=site.col,
+                                message=(
+                                    f"{inner!r} handed to {site.via}() is not a "
+                                    f"module-level function: nested defs do "
+                                    f"not pickle under spawn"
+                                ),
+                                detail=f"{site.via}:{inner}",
+                            )
+                        )
+                elif not _is_module_level(graph, resolved):
+                    findings.append(
+                        Finding(
+                            rule="F1",
+                            path=mod.path,
+                            line=site.line,
+                            col=site.col,
+                            message=(
+                                f"{inner!r} handed to {site.via}() resolves to "
+                                f"a method, not a module-level function: "
+                                f"bound methods drag their instance across "
+                                f"the fork"
+                            ),
+                            detail=f"{site.via}:{inner}:method",
+                        )
+                    )
+            # F2: smuggled handles in the argument list.  Arguments are
+            # recorded as dotted expressions; a constructor call of a
+            # known handle factory shows up as ``call:<factory>``.
+            for arg in site.args:
+                if not arg.startswith("call:"):
+                    continue
+                factory = arg[len("call:"):]
+                noun = SMUGGLED_FACTORIES.get(factory)
+                if noun is None:
+                    leaf = factory.rsplit(".", 1)[-1]
+                    noun = SMUGGLED_FACTORIES.get(leaf)
+                if noun is not None:
+                    findings.append(
+                        Finding(
+                            rule="F2",
+                            path=mod.path,
+                            line=site.line,
+                            col=site.col,
+                            message=(
+                                f"{noun} passed across the process boundary "
+                                f"via {site.via}(): rebuild it inside the "
+                                f"child instead of smuggling the parent's"
+                            ),
+                            detail=f"{site.via}:smuggle:{factory}",
+                        )
+                    )
+    return findings

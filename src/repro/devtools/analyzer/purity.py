@@ -1,0 +1,129 @@
+"""Purity dataflow: raw nondeterminism sources vs the sim-pure boundary.
+
+The lattice is deliberately small — a function is **pure** until a raw
+taint event (clock read, entropy draw, environment read, global write)
+is observed in its body, and **impurity is a property of reachability**:
+a tainted function only becomes a finding when the whole-program call
+graph shows a path from a declared sim-pure root
+(:data:`~repro.devtools.analyzer.rules.PURITY_ROOTS`) to it.  Code
+outside the boundary (CLI rendering, dashboards, the analyzer itself)
+may read clocks freely; code inside may not, however many calls deep
+the read hides.
+
+Sanctioned sources live in the sanctuary modules (the injectable-clock
+home ``repro.obs.probes``, the seeded-RNG home ``repro.simcore.rng``,
+and the out-of-band observability plane) — raw reads there are by
+design and are *not* findings; calls into their wrappers from boundary
+code are likewise sanctioned, because the wrappers are injectable and
+observational.
+
+``P5`` (hash-order hazards) is boundary-independent: a content hash
+must be stable wherever it is computed, so any function that both
+computes a digest and folds in unordered iteration or unsorted
+``json.dumps`` is flagged, reachable or not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.devtools.analyzer.facts import MODULE_BODY
+from repro.devtools.analyzer.findings import Finding
+from repro.devtools.analyzer.graph import ProgramGraph
+from repro.devtools.analyzer.rules import (
+    CLOCK_SANCTUARY_MODULES,
+    ENTROPY_SANCTUARY_MODULES,
+    OBS_PLANE_MODULES,
+    PURITY_ROOTS,
+)
+
+__all__ = ["purity_findings"]
+
+#: Taint kind -> (rule, human noun).
+_TAINT_RULES: Dict[str, Tuple[str, str]] = {
+    "clock": ("P1", "wall-clock read"),
+    "entropy": ("P2", "entropy source"),
+    "env": ("P3", "environment read"),
+    "global_write": ("P4", "module-global write"),
+}
+
+#: Call names (leaf) that mark a function as computing a content hash,
+#: in addition to direct hashlib/hexdigest use recorded at extraction.
+_FINGERPRINT_HELPERS = ("config_fingerprint", "run_id_for", "metrics_digest")
+
+
+def _sanctioned(module: str, kind: str) -> bool:
+    if module in OBS_PLANE_MODULES:
+        return kind in ("clock", "env")
+    if kind == "clock":
+        return module in CLOCK_SANCTUARY_MODULES
+    if kind == "entropy":
+        return module in ENTROPY_SANCTUARY_MODULES
+    return False
+
+
+def _short_chain(chain: Tuple[str, ...], limit: int = 6) -> Tuple[str, ...]:
+    if len(chain) <= limit:
+        return chain
+    return chain[:2] + ("...",) + chain[-(limit - 3):]
+
+
+def purity_findings(
+    graph: ProgramGraph, roots: Optional[Tuple[str, ...]] = None
+) -> List[Finding]:
+    """P1-P4 over the reachable closure, P5 everywhere."""
+    roots = roots if roots is not None else PURITY_ROOTS
+    reachable, parents = graph.reachable_from(list(roots))
+    findings: List[Finding] = []
+
+    for fid, (mod, fn) in graph.functions.items():
+        in_boundary = fid in reachable
+        # P1-P4: raw sources inside the boundary.
+        if in_boundary:
+            for taint in fn.taints:
+                rule_noun = _TAINT_RULES.get(taint.kind)
+                if rule_noun is None:
+                    continue
+                rule, noun = rule_noun
+                if _sanctioned(mod.module, taint.kind):
+                    continue
+                chain = _short_chain(graph.chain(parents, fid))
+                where = fn.qualname if fn.qualname != MODULE_BODY else "module body"
+                findings.append(
+                    Finding(
+                        rule=rule,
+                        path=mod.path,
+                        line=taint.line,
+                        col=taint.col,
+                        message=(
+                            f"{noun} {taint.detail} in {where}() is reachable "
+                            f"from the sim-pure boundary; a run must be a pure "
+                            f"function of (config, seed)"
+                        ),
+                        chain=chain,
+                        detail=f"{taint.kind}:{taint.detail}",
+                    )
+                )
+        # P5: hash-order hazards, boundary-independent.
+        hash_context = any(t.kind == "hash_digest" for t in fn.taints) or any(
+            call.rsplit(".", 1)[-1] in _FINGERPRINT_HELPERS for call in fn.calls
+        )
+        if hash_context:
+            for taint in fn.taints:
+                if taint.kind not in ("dumps_unsorted", "set_iter"):
+                    continue
+                findings.append(
+                    Finding(
+                        rule="P5",
+                        path=mod.path,
+                        line=taint.line,
+                        col=taint.col,
+                        message=(
+                            f"{taint.detail} in hash-computing {fn.qualname}(): "
+                            f"dict/set order is unstable, so the digest is not "
+                            f"a function of the payload"
+                        ),
+                        detail=f"{taint.kind}",
+                    )
+                )
+    return findings

@@ -1,0 +1,197 @@
+"""The analyzer's rule catalogue: ids, summaries, and long explanations.
+
+One table drives everything: the CLI's ``--list-rules`` and
+``--explain`` output, SARIF rule metadata, and the rule-index table in
+``docs/STATIC_ANALYSIS.md`` (whose completeness rule ``C5`` checks
+against this module, so the docs cannot silently drift from the code).
+
+Families
+--------
+``P*``
+    Purity dataflow: raw nondeterminism sources (wall clocks, entropy,
+    environment reads, hash-order hazards, global writes) reachable
+    from the declared sim-pure boundary.
+``C*``
+    Contract drift: structures that must stay in sync — cache-key
+    fields, the fault catalog, the sweep event schema, the docs tables.
+``F*``
+    Fork safety: objects shipped into worker processes must be
+    picklable by construction and must not smuggle live state.
+``W*``
+    Waiver hygiene: suppressions must stay justified and alive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = [
+    "CLOCK_SANCTUARY_MODULES",
+    "ENTROPY_SANCTUARY_MODULES",
+    "OBS_PLANE_MODULES",
+    "PURITY_ROOTS",
+    "RULES",
+    "explain",
+    "normalize_select",
+]
+
+#: Rule id -> one-line summary (``--list-rules``, SARIF shortDescription).
+RULES: Dict[str, str] = {
+    "P1": "wall-clock read reachable from the sim-pure boundary",
+    "P2": "unseeded entropy source reachable from the sim-pure boundary",
+    "P3": "environment read reachable from the sim-pure boundary",
+    "P4": "module global written from sim-pure code",
+    "P5": "unordered iteration or unsorted json.dumps feeding a content hash",
+    "C1": "CellSpec field missing from the content-address payload",
+    "C2": "FaultSpec subclass not registered in the FAULT_TYPES catalog",
+    "C3": "cataloged fault kind never exercised by a chaos fault class",
+    "C4": "sweep event kind drifted from the schema validator",
+    "C5": "documentation table out of sync with the code registry",
+    "F1": "callable submitted to a worker pool is not picklable by construction",
+    "F2": "worker submission smuggles an open handle, lock, or RNG state",
+    "W1": "stale or unjustified analyzer waiver",
+}
+
+#: Long-form explanations (``--explain``), one paragraph per rule.
+_EXPLANATIONS: Dict[str, str] = {
+    "P1": (
+        "Every run must be a pure function of (config, seed); a wall-clock\n"
+        "read (time.time/monotonic/perf_counter, datetime.now, ...) inside\n"
+        "code reachable from the engine's event loop or execute_cell makes\n"
+        "two identical runs diverge. The analyzer propagates taint over the\n"
+        "whole-program call graph, so a clock buried three calls deep is\n"
+        "still found and reported with its call chain. The sanctioned\n"
+        "escape hatch is repro.obs.probes (host_wallclock/host_epoch):\n"
+        "injectable, observational clocks that never feed back into\n"
+        "scheduling."
+    ),
+    "P2": (
+        "Unseeded entropy (module-level random, numpy.random, os.urandom,\n"
+        "uuid.uuid1/uuid4, secrets) reachable from the sim-pure boundary\n"
+        "breaks replayability. All randomness must flow through the seeded\n"
+        "RngRegistry streams in repro.simcore.rng, which derive every draw\n"
+        "from the experiment seed."
+    ),
+    "P3": (
+        "os.environ / os.getenv reads reachable from the sim-pure boundary\n"
+        "tie results to ambient machine state that the content address\n"
+        "cannot see: two hosts produce different outputs for the same\n"
+        "run_id, silently corrupting the cache and the ledger. Plumb the\n"
+        "value through ExperimentConfig (hashed) or waive the line with a\n"
+        "rationale if it is genuinely out-of-band (test hooks)."
+    ),
+    "P4": (
+        "Writing a module-level global from sim-reachable code (a `global`\n"
+        "statement with assignment) shares state between runs in one\n"
+        "process: run N's result depends on whether run N-1 happened.\n"
+        "Keep all mutable state on per-run objects."
+    ),
+    "P5": (
+        "A function that computes a content hash (hashlib, or the ledger's\n"
+        "config_fingerprint) must not fold in unordered iteration or\n"
+        "json.dumps(...) without sort_keys=True: dict/set order is an\n"
+        "accident of insertion history and hash seeding, so the 'same'\n"
+        "payload can produce different digests — cache misses at best,\n"
+        "cross-experiment collisions at worst."
+    ),
+    "C1": (
+        "CellSpec.config_payload() is the cache key: the run_id hashes it.\n"
+        "Every CellSpec field must appear in the payload (or be explicitly\n"
+        "marked `# analyzer: hash-exempt -- <why>` for presentation-only\n"
+        "fields, or be the seed, which is hashed alongside). PR 4's\n"
+        "changelog records exactly this bug: the old memoizer key dropped\n"
+        "the simulation horizon, so two different experiments collided in\n"
+        "the cache. This rule makes that class of drift a lint failure."
+    ),
+    "C2": (
+        "Every concrete FaultSpec subclass must declare a unique `kind`\n"
+        "ClassVar and be registered in FAULT_TYPES. An unregistered spec\n"
+        "serializes into a payload that fault_from_dict cannot rebuild, so\n"
+        "a faulted cell's content address stops round-tripping through the\n"
+        "ledger."
+    ),
+    "C3": (
+        "Every kind in FAULT_TYPES should be constructed by at least one\n"
+        "builder in repro.faults.catalog: an un-exercised fault type has no\n"
+        "chaos-sweep coverage and no recovery-metric story, so regressions\n"
+        "in it ship silently."
+    ),
+    "C4": (
+        "The sweep event vocabulary lives in repro.obs.sweep\n"
+        "(_REQUIRED_BY_KIND). Emitting a kind the schema does not know, or\n"
+        "keeping a schema kind nothing emits, means validate_events_file\n"
+        "and the dashboards disagree with the executors about what a sweep\n"
+        "log contains. Emit sites are resolved statically, including\n"
+        "**-expanded kwargs from dict-literal helpers, and checked against\n"
+        "each kind's required fields."
+    ),
+    "C5": (
+        "Tables that mirror a code registry (the rule index in\n"
+        "docs/STATIC_ANALYSIS.md, the event-kind table in\n"
+        "docs/OBSERVABILITY.md) must mention every registered id. The\n"
+        "reproducibility literature's dominant failure mode is silent\n"
+        "doc/model drift; this rule makes the docs part of the build."
+    ),
+    "F1": (
+        "Callables handed to ProcessPoolExecutor.submit/map or\n"
+        "multiprocessing.Process(target=...) must be module-level functions\n"
+        "(or functools.partial over one): lambdas, nested functions, and\n"
+        "bound methods of local objects either fail to pickle outright or\n"
+        "drag their enclosing state into the worker."
+    ),
+    "F2": (
+        "Arguments shipped to a worker must not smuggle live state: open\n"
+        "file handles, threading locks/conditions/events, or random.Random\n"
+        "instances. Handles and locks do not survive the pickle boundary;\n"
+        "RNG state smuggled around the seeded registry makes the worker's\n"
+        "draws depend on parent-process history."
+    ),
+    "W1": (
+        "A waiver (`# analyzer: allow=P1 -- rationale`) must carry a\n"
+        "rationale and must still match a live finding on its line. A\n"
+        "stale waiver is worse than none: it documents a hazard that no\n"
+        "longer exists and will silently swallow the next, different\n"
+        "finding on that line. Delete waivers when the code they excuse\n"
+        "goes away."
+    ),
+}
+
+#: The declared sim-pure boundary: everything statically reachable from
+#: these functions must be free of raw nondeterminism sources.
+#: ``module:*`` means every function and method in the module.
+PURITY_ROOTS = (
+    "repro.simcore.engine:*",
+    "repro.experiments.executor:execute_cell",
+)
+
+#: The injectable-clock home: the one module allowed to read host
+#: clocks directly.  Calls *to* its wrappers are sanctioned (they are
+#: observational and injectable); raw reads anywhere else are not.
+CLOCK_SANCTUARY_MODULES = frozenset({"repro.obs.probes"})
+
+#: The seeded-randomness home (mirrors simlint R1's allowlist).
+ENTROPY_SANCTUARY_MODULES = frozenset({"repro.simcore.rng"})
+
+#: The out-of-band observability plane: impure by design (resource
+#: metering, epoch timestamps), verified out-of-band by the double-run
+#: identity tests — raw sources inside these modules are sanctioned.
+OBS_PLANE_MODULES = frozenset({"repro.obs.probes", "repro.obs.sweep"})
+
+
+def explain(rule: str) -> Optional[str]:
+    """Long-form explanation for ``rule`` (``--explain``), or ``None``."""
+    rule = rule.strip().upper()
+    if rule not in RULES:
+        return None
+    return f"{rule}: {RULES[rule]}\n\n{_EXPLANATIONS[rule]}"
+
+
+def normalize_select(select: Optional[Iterable[str]]) -> Set[str]:
+    """Validate a ``--select`` rule subset; default is every rule."""
+    if select is None:
+        return set(RULES)
+    chosen = {s.strip().upper() for s in select if s.strip()}
+    unknown = chosen - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown analyzer rule(s): {', '.join(sorted(unknown))}")
+    return chosen

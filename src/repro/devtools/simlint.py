@@ -96,7 +96,15 @@ R2_ALLOWLIST = frozenset({"repro.obs.probes"})
 R7_PACKAGES = ("repro.pipeline", "repro.regulators", "repro.core")
 
 #: Packages whose public functions must be fully annotated (R8).
-R8_PACKAGES = ("repro.simcore", "repro.core")
+#: Mirrors the mypy --strict package list in pyproject/CI so the
+#: structural check runs locally even where mypy is not installed.
+R8_PACKAGES = (
+    "repro.simcore",
+    "repro.core",
+    "repro.pipeline",
+    "repro.multitenant",
+    "repro.analysis",
+)
 
 _CLOCK_ATTRS_TIME = frozenset(
     {
@@ -120,6 +128,13 @@ _MUTABLE_CALLS = frozenset(
 _TIMESTAMP_RE = re.compile(r"(^now$|^t_|_ms$|_time$|_at$|timestamp)")
 
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+?)(?:\s*(?:--|#)|$)")
+
+#: Whole-file opt-out, for files whose violations are the point (e.g.
+#: engine tests asserting exact float timestamps).  A rationale after
+#: ``--`` is required; the comment must sit above the first def/class.
+_FILE_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable-file=([A-Za-z0-9,\s]+?)\s*--\s*\S"
+)
 
 
 @dataclass(frozen=True)
@@ -174,15 +189,33 @@ class LintReport:
         )
 
 
-def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> rule ids suppressed on that line."""
+def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and whole-file rule suppressions in ``source``.
+
+    Returns ``(line -> rules, file-level rules)``.  File-level disables
+    (``# simlint: disable-file=R6 -- rationale``) are honored only in
+    the header — comment/import lines before the first ``def``/``class``
+    statement — so they cannot hide mid-file.
+    """
     suppressed: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    in_header = True
     for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.lstrip()
+        if in_header and (
+            stripped.startswith("def ") or stripped.startswith("class ")
+        ):
+            in_header = False
         match = _SUPPRESS_RE.search(line)
         if match:
             rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
             suppressed[lineno] = rules
-    return suppressed
+        fmatch = _FILE_SUPPRESS_RE.search(line)
+        if fmatch and in_header:
+            file_rules.update(
+                r.strip().upper() for r in fmatch.group(1).split(",") if r.strip()
+            )
+    return suppressed, file_rules
 
 
 def _module_name_for(path: Path) -> str:
@@ -622,11 +655,11 @@ def lint_source(
     checker = _Checker(module=module, path=path, select=chosen)
     checker.visit(tree)
     checker.finalize()
-    suppressed = _parse_suppressions(source)
+    suppressed, file_rules = _parse_suppressions(source)
     findings = [
         f
         for f in checker.findings
-        if f.rule not in suppressed.get(f.line, set())
+        if f.rule not in file_rules and f.rule not in suppressed.get(f.line, set())
     ]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

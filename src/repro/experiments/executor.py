@@ -193,14 +193,14 @@ class ExecutionError(RuntimeError):
 
 def _chaos_hooks(spec: CellSpec) -> None:
     """Honor the simulated-crash/stall env hooks (tests and CI only)."""
-    stall = os.environ.get(_STALL_ENV)
+    stall = os.environ.get(_STALL_ENV)  # analyzer: allow=P3 -- fault-injection hook, set only by chaos tests, never hashed
     if stall:
         prefix, _, seconds = stall.partition(":")
         if spec.run_id.startswith(prefix):
             import time
 
             time.sleep(float(seconds))
-    crash = os.environ.get(_CRASH_ENV)
+    crash = os.environ.get(_CRASH_ENV)  # analyzer: allow=P3 -- fault-injection hook, set only by chaos tests, never hashed
     if crash:
         prefix, marker_path, max_kills = crash.rsplit(":", 2)
         if not prefix or spec.run_id.startswith(prefix):

@@ -71,7 +71,7 @@ class CellSpec:
     #: Chaos-sweep annotation: the catalog name the faults came from
     #: ("" outside chaos sweeps).  Presentation only — the specs
     #: themselves identify the cell.
-    fault_class: str = ""
+    fault_class: str = ""  # analyzer: hash-exempt -- catalog label; the fault specs themselves are hashed
 
     @classmethod
     def from_config(

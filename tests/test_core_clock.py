@@ -1,4 +1,5 @@
 """Unit tests for ODR's FPS regulator clock (Algorithm 1)."""
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import pytest
 from hypothesis import given, settings
@@ -147,7 +148,7 @@ class TestLongRunRate:
     )
     @settings(max_examples=30, deadline=None)
     def test_rate_never_exceeds_target_with_feasible_workload(self, target, seed):
-        import random
+        import random  # simlint: disable=R1 -- test drives the clock with arbitrary jitter, not sim randomness
 
         rng = random.Random(seed)
         c = FpsRegulatorClock(target_fps=target, pacing_margin=0.0)
@@ -162,7 +163,7 @@ class TestLongRunRate:
     @given(seed=st.integers(min_value=0, max_value=1000))
     @settings(max_examples=30, deadline=None)
     def test_acc_delay_bounded_below_by_debt_window(self, seed):
-        import random
+        import random  # simlint: disable=R1 -- test drives the clock with arbitrary jitter, not sim randomness
 
         rng = random.Random(seed)
         c = clock(60, debt_window_ms=200.0)

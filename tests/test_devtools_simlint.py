@@ -18,7 +18,9 @@ from repro.devtools.simlint import (
 )
 
 
-def lint(source, module="repro.pipeline.example", **kwargs):
+def lint(source, module="repro.obs.example", **kwargs):
+    # Default module sits outside the R7/R8 package gates so snippets
+    # exercising other rules need not be fully annotated.
     return lint_source(textwrap.dedent(source), module=module, **kwargs)
 
 
@@ -377,9 +379,20 @@ class TestR8Annotations:
 
     def test_outside_r8_packages_is_silent(self):
         findings = lint(
-            "def step(event):\n    return event\n", module="repro.pipeline.example"
+            "def step(event):\n    return event\n", module="repro.obs.example"
         )
         assert "R8" not in rules_of(findings)
+
+    def test_r8_covers_the_mypy_strict_packages(self):
+        for module in (
+            "repro.pipeline.example",
+            "repro.multitenant.example",
+            "repro.analysis.example",
+        ):
+            findings = lint(
+                "def step(event):\n    return event\n", module=module
+            )
+            assert "R8" in rules_of(findings), module
 
 
 class TestSuppressions:
@@ -410,6 +423,57 @@ class TestSuppressions:
             """
         )
         assert findings == []
+
+
+class TestFileLevelSuppressions:
+    def test_disable_file_silences_rule_everywhere(self):
+        findings = lint(
+            """
+            # simlint: disable-file=R6 -- exact-timestamp asserts are the point
+            def f(t_a, t_b):
+                return t_a == t_b
+
+            def g(t_c, t_d):
+                return t_c != t_d
+            """
+        )
+        assert "R6" not in rules_of(findings)
+
+    def test_disable_file_is_rule_specific(self):
+        findings = lint(
+            """
+            # simlint: disable-file=R6 -- timestamps only
+            import random
+
+            def f(t_a, t_b):
+                return t_a == t_b
+            """
+        )
+        assert "R1" in rules_of(findings)
+        assert "R6" not in rules_of(findings)
+
+    def test_disable_file_requires_rationale(self):
+        findings = lint(
+            """
+            # simlint: disable-file=R6
+            def f(t_a, t_b):
+                return t_a == t_b
+            """
+        )
+        assert "R6" in rules_of(findings)
+
+    def test_disable_file_below_header_is_ignored(self):
+        findings = lint(
+            """
+            def f(t_a, t_b):
+                return t_a == t_b
+
+            # simlint: disable-file=R6 -- too late, mid-file
+            def g(t_c, t_d):
+                return t_c == t_d
+            """
+        )
+        assert rules_of(findings).count("R6") == 2
 
 
 class TestHarness:
@@ -452,5 +516,5 @@ class TestHarness:
         assert report.counts() == {"R1": 1}
 
     def test_repo_tree_is_clean(self):
-        report = lint_paths(["src/repro"])
+        report = lint_paths(["src/repro", "tests"])
         assert report.ok, "\n".join(f.render() for f in report.findings)

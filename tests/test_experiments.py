@@ -1,4 +1,5 @@
 """Tests for the experiment harness: configs, runner, report, user study."""
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import pytest
 

@@ -11,6 +11,7 @@ telemetry object:
   must be within 5% of a baseline environment with no probe branches
   at all (same A/B scheme as ``test_obs_benchmark``).
 """
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import time
 
@@ -117,9 +118,9 @@ class TestDisabledOverhead:
     def test_disabled_multitenant_overhead_under_five_percent(self, monkeypatch):
         def run_server():
             server = make_server(duration=3000.0)
-            start = time.perf_counter()
+            start = time.perf_counter()  # simlint: disable=R2 -- scheduler fairness test times host-side work on purpose
             server.run()
-            return time.perf_counter() - start
+            return time.perf_counter() - start  # simlint: disable=R2 -- scheduler fairness test times host-side work on purpose
 
         run_server()  # warm caches on the current engine
         monkeypatch.setattr(server_mod, "Environment", BaselineEnvironment)

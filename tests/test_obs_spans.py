@@ -1,4 +1,5 @@
 """Span lifecycle: open → stage intervals → close (display or drop)."""
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import pytest
 

@@ -1,4 +1,5 @@
 """Tests for the client display presentation models."""
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import pytest
 from hypothesis import given, settings
@@ -107,7 +108,7 @@ class TestVrrDisplay:
         allowing frames to arrive at high but varying rates" — a fixed
         60 Hz vsync display fed the same stream drops a third of the
         frames and adds most of a refresh period of latency."""
-        import random
+        import random  # simlint: disable=R1 -- test shuffles input order to prove order-independence
 
         rng = random.Random(3)
         t, times = 0.0, []

@@ -1,4 +1,5 @@
 """Tests for the baseline regulators and the factory."""
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import pytest
 

@@ -1,4 +1,5 @@
 """Unit tests for the discrete-event engine."""
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import pytest
 

@@ -1,4 +1,5 @@
 """Tests for benchmark and platform profiles."""
+# simlint: disable-file=R6 -- determinism tests assert exact reproduced timestamps on purpose
 
 import pytest
 
