@@ -44,8 +44,11 @@ from repro.experiments.executor import (
     ParallelExecutor,
     SerialExecutor,
     execute_cell,
+    execute_cells,
     make_executor,
 )
+from repro.experiments.pool import WorkerPool
+from repro.experiments.scheduling import resolve_chunk, schedule_cells
 from repro.experiments.plan import (
     CellSpec,
     Plan,
@@ -73,13 +76,17 @@ __all__ = [
     "ResultStore",
     "Runner",
     "SerialExecutor",
+    "WorkerPool",
     "bench_demands",
     "chaos_demands",
     "execute_cell",
+    "execute_cells",
     "format_table",
     "group_demands",
     "make_executor",
     "matrix_demands",
+    "resolve_chunk",
+    "schedule_cells",
     "paper_configuration_matrix",
     "platform_res_combos",
     "render_resilience",

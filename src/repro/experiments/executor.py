@@ -7,12 +7,17 @@ plan order.  Two strategies ship:
 
 * :class:`SerialExecutor` — one cell after another, in-process; the
   behaviour the old lazy ``Runner`` had, made explicit.
-* :class:`ParallelExecutor` — a stdlib
-  :class:`~concurrent.futures.ProcessPoolExecutor` fan-out
-  (``--workers N``).  Each worker runs the same deterministic
-  discrete-event simulation from the same :class:`CellSpec`, so the
-  records it returns are **bit-identical** to a serial run — cells
-  share no state, and every RNG stream is seeded from the spec alone.
+* :class:`ParallelExecutor` — a fan-out over a
+  :class:`~repro.experiments.pool.WorkerPool` (``--workers N``),
+  driven by the shared scheduling core
+  (:func:`~repro.experiments.scheduling.schedule_cells`).  Each worker
+  runs the same deterministic discrete-event simulation from the same
+  :class:`CellSpec`, so the records it returns are **bit-identical**
+  to a serial run — cells share no state, and every RNG stream is
+  seeded from the spec alone.  Small cells are batched ``chunk`` per
+  pool submission to amortize pickle/IPC overhead, and a caller that
+  already owns a warm pool (the service gateway) passes it as
+  ``pool=`` so worker spawn is paid once per server, not per sweep.
 
 Each finished cell is written through to the store and appended to the
 run ledger *as it completes*, so an interrupted sweep still persists
@@ -23,14 +28,15 @@ raises becomes a :class:`CellFailure` on the report instead of
 aborting the plan; the parallel executor additionally takes a
 per-cell timeout (``cell_timeout_s``) and retries cells lost to a
 worker crash (:class:`~concurrent.futures.process.BrokenProcessPool`)
-up to ``max_attempts`` times in a fresh pool.  The report's
+up to ``max_attempts`` times in a respawned pool.  The report's
 :attr:`~ExecutionReport.failures` enumerate what ultimately failed;
 :attr:`~ExecutionReport.ok` gates exit codes, and a follow-up
 ``--resume`` run re-executes only the missing cells, bit-identically.
 
 The cell body (:func:`execute_cell`) is the single place a cell turns
-into numbers: it is what workers run, what the serial path runs, and
-what ``Runner.run_cell`` ultimately calls.
+into numbers: it is what workers run (via the chunk runner
+:func:`execute_cells`), what the serial path runs, and what
+``Runner.run_cell`` ultimately calls.
 
 **Sweep telemetry.**  Executors optionally narrate themselves into a
 :class:`~repro.obs.sweep.SweepEventBus` (``bus=``): cell
@@ -38,32 +44,39 @@ scheduled/cached/started/finished/failed/retried/timed-out events,
 pool openings and breakages, worker spawns, and store quarantines.
 Workers measure per-cell resources
 (:class:`~repro.obs.sweep.CellResources`) and ship live events back
-over a multiprocessing queue the parent drains.  The plane is strictly
-out-of-band — with ``bus=None`` (the default) every hook site is one
-``is None`` branch and results are bit-identical either way.
+over the pool's manager queue.  The plane is strictly out-of-band —
+with ``bus=None`` (the default) every hook site is one ``is None``
+branch and results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import signal
-import threading
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.experiments.plan import CellSpec, Plan
-from repro.experiments.record import ExperimentRecord, build_experiment_record
+from repro.experiments.pool import WorkerPool
+from repro.experiments.record import build_experiment_record
+from repro.experiments.results import (
+    CellFailure,
+    CellOutcome,
+    ExecutionError,
+    ExecutionReport,
+)
+from repro.experiments.results import exec_meta as _exec_meta
+from repro.experiments.scheduling import (
+    cell_event_fields as _cell_fields,
+)
+from repro.experiments.scheduling import resolve_chunk, schedule_cells
 from repro.experiments.store import ResultStore
 from repro.metrics.recovery import RecoveryStats, recovery_stats
 from repro.obs import sweep as sweepbus
 from repro.obs.ledger import RunLedger
 from repro.obs.probes import host_epoch, host_wallclock
 from repro.obs.runmeta import build_record
-from repro.obs.sweep import CellResources, ResourceMeter, SweepEventBus
+from repro.obs.sweep import ResourceMeter, SweepEventBus
 from repro.pipeline import CloudSystem, SystemConfig
 from repro.regulators import make_regulator
 from repro.workloads import PLATFORMS, Resolution
@@ -76,6 +89,7 @@ __all__ = [
     "ParallelExecutor",
     "SerialExecutor",
     "execute_cell",
+    "execute_cells",
     "make_executor",
 ]
 
@@ -87,108 +101,6 @@ _CRASH_ENV = "ODR_EXECUTOR_SIMULATED_CRASH"
 #: Test hook: ``<run_id_prefix>:<seconds>`` — a worker executing a
 #: matching cell sleeps first, simulating a hung cell for the timeout path.
 _STALL_ENV = "ODR_EXECUTOR_SIMULATED_STALL"
-
-
-@dataclass(frozen=True)
-class CellOutcome:
-    """One plan cell after execution (or recall from the store)."""
-
-    spec: CellSpec
-    record: ExperimentRecord
-    #: The full ledger run record, when the cell executed with ledger
-    #: collection on; ``None`` for cached cells (already appended by
-    #: whichever run produced them).
-    ledger_record: Optional[Dict[str, Any]]
-    #: Host seconds this cell's simulation took (0.0 when cached).
-    wall_clock_s: float
-    #: ``True`` when the result came from the store, not an execution.
-    cached: bool
-    #: Worker-side resource telemetry (wall, CPU user/sys, peak RSS,
-    #: events/sec) for executed cells; ``None`` for cached cells.
-    resources: Optional[CellResources] = None
-
-
-@dataclass(frozen=True)
-class CellFailure:
-    """One plan cell that did not produce a record."""
-
-    spec: CellSpec
-    #: Human-readable cause (exception type + message, timeout, crash).
-    error: str
-    #: Executions attempted before giving up.
-    attempts: int = 1
-
-
-@dataclass(frozen=True)
-class ExecutionReport:
-    """All outcomes of one executed plan, in plan order.
-
-    A report with :attr:`failures` is *partial*: every cell in
-    :attr:`outcomes` completed (and persisted, when a store/ledger was
-    attached); the failed cells are enumerated with their cause, and a
-    later ``--resume`` run needs to execute only those.
-    """
-
-    outcomes: Tuple[CellOutcome, ...]
-    failures: Tuple[CellFailure, ...] = ()
-
-    @property
-    def ok(self) -> bool:
-        """True when every planned cell produced a record."""
-        return not self.failures
-
-    @property
-    def executed(self) -> int:
-        """Cells that actually simulated in this run."""
-        return sum(1 for o in self.outcomes if not o.cached)
-
-    @property
-    def cached(self) -> int:
-        """Cells recalled from the result store."""
-        return sum(1 for o in self.outcomes if o.cached)
-
-    @property
-    def cell_seconds(self) -> float:
-        """Summed per-cell wall clock (CPU-time-like; overlaps in parallel)."""
-        return sum(o.wall_clock_s for o in self.outcomes)
-
-    def records(self) -> List[ExperimentRecord]:
-        return [o.record for o in self.outcomes]
-
-    def outcome_for(self, run_id: str) -> CellOutcome:
-        for outcome in self.outcomes:
-            if outcome.spec.run_id == run_id:
-                return outcome
-        raise KeyError(run_id)
-
-    def failure_for(self, run_id: str) -> CellFailure:
-        for failure in self.failures:
-            if failure.spec.run_id == run_id:
-                return failure
-        raise KeyError(run_id)
-
-    def describe(self) -> str:
-        text = (
-            f"{len(self.outcomes)} cell(s): executed={self.executed} "
-            f"cached={self.cached} cell_seconds={self.cell_seconds:.2f}"
-        )
-        if self.failures:
-            text += f" failed={len(self.failures)}"
-        return text
-
-
-class ExecutionError(RuntimeError):
-    """A plan finished with failed cells (raised by ``Runner.run_plan``)."""
-
-    def __init__(self, report: ExecutionReport) -> None:
-        self.report = report
-        detail = "; ".join(
-            f"{failure.spec.label}: {failure.error}" for failure in report.failures
-        )
-        super().__init__(
-            f"{len(report.failures)} of "
-            f"{len(report.outcomes) + len(report.failures)} cell(s) failed: {detail}"
-        )
 
 
 def _chaos_hooks(spec: CellSpec) -> None:
@@ -307,6 +219,37 @@ def execute_cell(
         cached=False,
         resources=resources,
     )
+
+
+def execute_cells(
+    specs: List[CellSpec],
+    collect_ledger: bool = False,
+    telemetry_dir: Optional[str] = None,
+    git_rev: Optional[str] = None,
+) -> List[Union[CellOutcome, CellFailure]]:
+    """The chunk runner workers execute: one result per cell, in order.
+
+    A cell that raises becomes a :class:`CellFailure` *inside* the
+    worker, so one bad cell cannot poison its chunk-mates — a chunk
+    future only raises when the worker itself dies (crash) or the
+    caller times the chunk out.
+    """
+    results: List[Union[CellOutcome, CellFailure]] = []
+    for spec in specs:
+        try:
+            results.append(
+                execute_cell(
+                    spec,
+                    collect_ledger=collect_ledger,
+                    telemetry_dir=telemetry_dir,
+                    git_rev=git_rev,
+                )
+            )
+        except Exception as exc:
+            results.append(
+                CellFailure(spec, f"{type(exc).__name__}: {exc}", attempts=1)
+            )
+    return results
 
 
 def _persist_telemetry(telemetry: Any, spec: CellSpec, telemetry_dir: str) -> None:
@@ -459,99 +402,31 @@ class SerialExecutor:
                 sweepbus.detach_worker_sink()
 
 
-def _cell_fields(spec: CellSpec) -> Dict[str, Any]:
-    """The identifying fields every cell event carries."""
-    return {
-        "run_id": spec.run_id,
-        "label": spec.label,
-        "faults": bool(spec.faults),
-        "fault_class": spec.fault_class,
-    }
-
-
-def _exec_meta(outcome: CellOutcome) -> Optional[Dict[str, Any]]:
-    """Execution-cost metadata persisted with a freshly executed cell."""
-    if outcome.cached:
-        return None
-    meta: Dict[str, Any] = {"wall_clock_s": outcome.wall_clock_s}
-    if outcome.resources is not None:
-        meta["resources"] = outcome.resources.to_dict()
-    return meta
-
-
-def _queue_sink(queue: Any) -> Any:
-    """A worker sink that ships (kind, fields) tuples over ``queue``."""
-
-    def sink(kind: str, fields: Dict[str, Any]) -> None:
-        queue.put((kind, fields))
-
-    return sink
-
-
-def _sweep_worker_init(queue: Any) -> None:
-    """Pool-worker initializer: route cell events into the parent's queue."""
-    sweepbus.attach_worker_sink(_queue_sink(queue))
-    sweepbus.emit_cell_event(
-        sweepbus.WORKER_SPAWNED, pid=os.getpid(), epoch_s=host_epoch()
-    )
-
-
-class _EventQueueDrain:
-    """Parent-side pump: a manager queue drained into the bus by a thread.
-
-    The queue lives in a ``multiprocessing.Manager`` server process, so
-    a SIGKILLed pool worker cannot corrupt it mid-``put`` — the drain
-    keeps working through pool breakage and is stopped (sentinel +
-    join) when the executor finishes, hung workers notwithstanding.
-    """
-
-    def __init__(self, bus: SweepEventBus) -> None:
-        self._manager = multiprocessing.Manager()
-        self.queue = self._manager.Queue()
-        self._thread = threading.Thread(
-            target=self._pump, args=(bus,), name="sweep-event-drain", daemon=True
-        )
-        self._thread.start()
-
-    def _pump(self, bus: SweepEventBus) -> None:
-        while True:
-            try:
-                item = self.queue.get()
-            except (EOFError, OSError):  # manager went away
-                return
-            if item is None:
-                return
-            kind, fields = item
-            bus.emit(kind, **fields)
-
-    def stop(self) -> None:
-        """Drain remaining events, stop the thread, shut the manager down."""
-        try:
-            self.queue.put(None)
-        except Exception:
-            pass
-        self._thread.join(timeout=10.0)
-        try:
-            self._manager.shutdown()
-        except Exception:
-            pass
-
-
 class ParallelExecutor(SerialExecutor):
-    """Fan a plan's missing cells out over a process pool.
+    """Fan a plan's missing cells out over a worker pool.
 
-    Workers execute :func:`execute_cell` on plain :class:`CellSpec`
-    payloads; results are harvested in plan order, so store writes and
-    ledger appends happen incrementally (retried cells append after
-    their retry completes).  Output is bit-identical to
-    :class:`SerialExecutor` — the DES is deterministic in the spec.
+    Workers execute :func:`execute_cells` on chunks of plain
+    :class:`CellSpec` payloads; results are harvested in submission
+    order, so store writes and ledger appends happen incrementally
+    (retried cells append after their retry completes).  Output is
+    bit-identical to :class:`SerialExecutor` — the DES is
+    deterministic in the spec.
 
     ``cell_timeout_s`` bounds the wait for any single cell's result
     (a cell that exceeds it is reported failed; its worker is
-    abandoned at shutdown).  A worker crash breaks the whole pool
+    abandoned at pool respawn) and forces one cell per submission.
+    ``chunk`` sets cells-per-submission explicitly (default: auto —
+    see :func:`~repro.experiments.scheduling.resolve_chunk`).  A
+    worker crash breaks the pool
     (:class:`~concurrent.futures.BrokenExecutor`): finished results
-    are harvested, and the unfinished cells re-run in a fresh pool
-    until each has had ``max_attempts`` executions.
+    are harvested, and the lost cells re-run individually in a
+    respawned pool until each has had ``max_attempts`` executions.
+
+    By default each ``run`` spins up (and tears down) its own
+    :class:`~repro.experiments.pool.WorkerPool`.  Pass ``pool=`` to
+    run against a caller-owned pool instead — the service gateway
+    keeps one warm pool for its whole lifetime and routes every job
+    through it, paying worker spawn once per server.
     """
 
     name = "parallel"
@@ -561,6 +436,8 @@ class ParallelExecutor(SerialExecutor):
         workers: int,
         cell_timeout_s: Optional[float] = None,
         max_attempts: int = 2,
+        chunk: Optional[int] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -568,9 +445,14 @@ class ParallelExecutor(SerialExecutor):
             raise ValueError("cell timeout must be positive")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if chunk is not None and chunk < 1:
+            raise ValueError("chunk must be >= 1")
         self.workers = workers
         self.cell_timeout_s = cell_timeout_s
         self.max_attempts = max_attempts
+        self.chunk = chunk
+        #: A caller-owned pool to run against (``None`` → per-run pool).
+        self.pool = pool
 
     def _execute(
         self,
@@ -581,117 +463,53 @@ class ParallelExecutor(SerialExecutor):
         bus: Optional[SweepEventBus] = None,
     ) -> Iterator[Union[CellOutcome, CellFailure]]:
         workers = min(self.workers, len(specs))
-        if workers <= 1:
+        if workers <= 1 and self.pool is None:
             yield from super()._execute(
                 specs, collect_ledger, telemetry_dir, git_rev, bus
             )
             return
-        run_one = partial(
-            execute_cell,
+        run_chunk = partial(
+            execute_cells,
             collect_ledger=collect_ledger,
             telemetry_dir=telemetry_dir,
             git_rev=git_rev,
         )
-        drain = _EventQueueDrain(bus) if bus is not None else None
+        chunk = resolve_chunk(len(specs), workers, self.chunk, self.cell_timeout_s)
+        pool = self.pool
+        owned = pool is None
+        if pool is None:
+            pool = WorkerPool(workers, events=bus is not None)
+        previous_sink: Any = None
+        if bus is not None:
+            # Route worker-side events (worker_spawned, cell_started,
+            # resources) into this run's bus for the duration of the
+            # run; a borrowed pool gets its previous sink back after.
+            previous_sink = pool.attach_sink(
+                lambda kind, fields: bus.emit(kind, **fields)
+            )
         try:
-            attempts: Dict[str, int] = {spec.run_id: 0 for spec in specs}
-            queue: List[CellSpec] = list(specs)
-            while queue:
-                batch, queue = queue, []
-                for spec in batch:
-                    attempts[spec.run_id] += 1
-                pool_workers = min(workers, len(batch))
-                if drain is not None:
-                    pool = ProcessPoolExecutor(
-                        max_workers=pool_workers,
-                        initializer=_sweep_worker_init,
-                        initargs=(drain.queue,),
-                    )
-                else:
-                    pool = ProcessPoolExecutor(max_workers=pool_workers)
-                if bus is not None:
-                    bus.emit(
-                        sweepbus.POOL_OPENED, workers=pool_workers, batch=len(batch)
-                    )
-                futures: List[Tuple[CellSpec, "Future[CellOutcome]"]] = [
-                    (spec, pool.submit(run_one, spec)) for spec in batch
-                ]
-                hung = False
-                pool_broken = False
-                for spec, future in futures:
-                    if pool_broken:
-                        # The pool already broke: cells that finished before
-                        # the crash still hold results; the rest re-queue.
-                        if future.done() and future.exception() is None:
-                            yield future.result()
-                        else:
-                            retry = self._requeue(
-                                spec, attempts[spec.run_id], queue, bus
-                            )
-                            if retry is not None:
-                                yield retry
-                        continue
-                    try:
-                        yield future.result(timeout=self.cell_timeout_s)
-                    except FuturesTimeoutError:
-                        hung = True
-                        if bus is not None:
-                            bus.emit(
-                                sweepbus.CELL_TIMED_OUT,
-                                timeout_s=self.cell_timeout_s,
-                                **_cell_fields(spec),
-                            )
-                        yield CellFailure(
-                            spec,
-                            f"timed out after {self.cell_timeout_s:g} s",
-                            attempts=attempts[spec.run_id],
-                        )
-                    except BrokenExecutor:
-                        pool_broken = True
-                        if bus is not None:
-                            bus.emit(sweepbus.POOL_BROKEN)
-                        retry = self._requeue(spec, attempts[spec.run_id], queue, bus)
-                        if retry is not None:
-                            yield retry
-                    except Exception as exc:
-                        yield CellFailure(
-                            spec,
-                            f"{type(exc).__name__}: {exc}",
-                            attempts=attempts[spec.run_id],
-                        )
-                # A hung worker would block a waiting shutdown forever;
-                # cancel what never started and leave it behind.
-                pool.shutdown(wait=not hung, cancel_futures=True)
+            yield from schedule_cells(
+                pool,
+                specs,
+                run_chunk,
+                chunk=chunk,
+                cell_timeout_s=self.cell_timeout_s,
+                max_attempts=self.max_attempts,
+                bus=bus,
+            )
         finally:
-            if drain is not None:
-                drain.stop()
-
-    def _requeue(
-        self,
-        spec: CellSpec,
-        attempted: int,
-        queue: List[CellSpec],
-        bus: Optional[SweepEventBus] = None,
-    ) -> Optional[CellFailure]:
-        """Re-queue a crash casualty, or fail it after ``max_attempts``."""
-        if attempted < self.max_attempts:
-            queue.append(spec)
             if bus is not None:
-                bus.emit(
-                    sweepbus.CELL_RETRIED, attempt=attempted, **_cell_fields(spec)
-                )
-            return None
-        return CellFailure(
-            spec,
-            f"worker crashed (gave up after {attempted} attempt(s))",
-            attempts=attempted,
-        )
+                pool.attach_sink(previous_sink)
+            if owned:
+                pool.close()
 
 
 def make_executor(
-    workers: int = 1, cell_timeout_s: Optional[float] = None
+    workers: int = 1,
+    cell_timeout_s: Optional[float] = None,
+    chunk: Optional[int] = None,
 ) -> SerialExecutor:
     """``workers <= 1`` → serial; otherwise a pool of ``workers``."""
     if workers > 1:
-        return ParallelExecutor(workers, cell_timeout_s=cell_timeout_s)
+        return ParallelExecutor(workers, cell_timeout_s=cell_timeout_s, chunk=chunk)
     return SerialExecutor()

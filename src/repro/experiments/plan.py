@@ -37,7 +37,7 @@ from repro.experiments.config import (
     platform_res_combos,
     regulator_specs_for,
 )
-from repro.faults.spec import FaultPlan, FaultSpec
+from repro.faults.spec import FaultPlan, FaultSpec, fault_from_dict
 from repro.obs.runmeta import run_id_for
 from repro.workloads import BENCHMARKS, PLATFORMS, Resolution
 
@@ -96,6 +96,46 @@ class CellSpec:
             warmup_ms=float(warmup_ms),
             faults=tuple(faults),
             fault_class=fault_class,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of this spec (JSON-safe), for the service protocol.
+
+        Round-trips exactly through :meth:`from_dict`: every identity
+        field is carried verbatim, faults via their own discriminated
+        ``to_dict`` form — so a spec serialized by a client yields the
+        same :attr:`run_id` on the server.
+        """
+        payload: Dict[str, Any] = {
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "resolution": self.resolution,
+            "regulator": self.regulator,
+            "seed": self.seed,
+            "duration_ms": self.duration_ms,
+            "warmup_ms": self.warmup_ms,
+        }
+        if self.faults:
+            payload["faults"] = [fault.to_dict() for fault in self.faults]
+        if self.fault_class:
+            payload["fault_class"] = self.fault_class
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellSpec":
+        """Rebuild a spec from its :meth:`to_dict` wire form."""
+        return cls(
+            benchmark=str(payload["benchmark"]),
+            platform=str(payload["platform"]),
+            resolution=str(payload["resolution"]),
+            regulator=str(payload["regulator"]),
+            seed=int(payload["seed"]),
+            duration_ms=float(payload.get("duration_ms", DEFAULT_DURATION_MS)),
+            warmup_ms=float(payload.get("warmup_ms", DEFAULT_WARMUP_MS)),
+            faults=tuple(
+                fault_from_dict(fault) for fault in payload.get("faults", [])
+            ),
+            fault_class=str(payload.get("fault_class", "")),
         )
 
     def config_payload(self) -> Dict[str, Any]:

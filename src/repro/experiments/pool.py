@@ -1,0 +1,221 @@
+"""A persistent, reusable process-pool for cell execution.
+
+:class:`WorkerPool` wraps a stdlib
+:class:`~concurrent.futures.ProcessPoolExecutor` so the expensive parts
+of parallel execution — spawning worker processes, and (with the events
+plane on) spawning the ``multiprocessing.Manager`` that carries
+worker-side telemetry — are paid **once per pool**, not once per sweep.
+The one-shot executors (:class:`~repro.experiments.executor.ParallelExecutor`)
+create a pool per run, exactly as before; the service layer
+(:mod:`repro.service`) creates one pool per server and runs every job's
+cells through it, which is what turns pool warmup from a per-sweep tax
+into a per-server constant.
+
+The pool also owns the worker→parent event plumbing that used to live
+inside the executor: with ``events=True`` it creates a manager-hosted
+queue (SIGKILL-safe — a dying worker cannot corrupt it mid-``put``),
+initializes every worker to route its
+:func:`repro.obs.sweep.emit_cell_event` calls into that queue, and
+drains the queue on a parent thread into whatever ``sink`` is currently
+attached.  Because the sink is attached *per run* (not baked in at
+worker spawn), one warm pool can serve many sweeps — or many concurrent
+service jobs, whose router fans events out to per-job buses.
+
+A pool survives its own failures: :meth:`respawn` replaces a broken or
+hung :class:`~concurrent.futures.ProcessPoolExecutor` with a fresh one
+(the scheduling core calls it after ``BrokenExecutor`` / a cell
+timeout) while the manager, queue, drain thread, and attached sink all
+keep working.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs import sweep as sweepbus
+from repro.obs.probes import host_epoch
+
+__all__ = ["WorkerPool"]
+
+#: Signature of a worker-event sink: ``sink(kind, fields)``.
+EventSink = Callable[[str, Dict[str, Any]], None]
+
+
+def _queue_sink(queue: Any) -> EventSink:
+    """A worker sink that ships (kind, fields) tuples over ``queue``."""
+
+    def sink(kind: str, fields: Dict[str, Any]) -> None:
+        queue.put((kind, fields))
+
+    return sink
+
+
+def _worker_init(queue: Any) -> None:
+    """Pool-worker initializer: route cell events into the parent's queue."""
+    sweepbus.attach_worker_sink(_queue_sink(queue))
+    sweepbus.emit_cell_event(
+        sweepbus.WORKER_SPAWNED, pid=os.getpid(), epoch_s=host_epoch()
+    )
+
+
+class WorkerPool:
+    """A reusable process pool with an optional worker-event plane.
+
+    ``workers`` is the pool width.  With ``events=True`` the pool
+    carries worker-side sweep events (``worker_spawned``,
+    ``cell_started``, per-cell resources) to the attached ``sink``;
+    with ``events=False`` workers run bare and no manager process is
+    spawned — the zero-overhead default for unobserved sweeps.
+
+    Thread-safe for concurrent :meth:`submit` calls (the service's
+    concurrent jobs share one pool); :meth:`respawn` and :meth:`close`
+    serialize against submissions.
+    """
+
+    def __init__(self, workers: int, events: bool = False) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.events = events
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        #: Pools replaced by :meth:`respawn` over this pool's lifetime.
+        self.respawns = 0
+        self._sink: Optional[EventSink] = None
+        self._manager: Optional[Any] = None
+        self._queue: Optional[Any] = None
+        self._drain: Optional[threading.Thread] = None
+
+    # -- the event plane ---------------------------------------------------
+
+    def attach_sink(self, sink: Optional[EventSink]) -> Optional[EventSink]:
+        """Route drained worker events into ``sink``; returns the old sink.
+
+        Attach/detach happens per run (or per service job router), so a
+        warm pool serves sweeps with and without observation — workers
+        always emit into the queue; unrouted events are dropped here.
+        """
+        previous = self._sink
+        self._sink = sink
+        return previous
+
+    def _pump(self) -> None:
+        queue = self._queue
+        assert queue is not None
+        while True:
+            try:
+                item = queue.get()
+            except (EOFError, OSError):  # manager went away
+                return
+            if item is None:
+                return
+            kind, fields = item
+            sink = self._sink
+            if sink is None:
+                continue
+            try:
+                sink(kind, fields)
+            except Exception:
+                # Telemetry must never break execution: a failing sink
+                # degrades to a gap in the event log, nothing more.
+                continue
+
+    def _ensure_plane(self) -> None:
+        if not self.events or self._manager is not None:
+            return
+        self._manager = multiprocessing.Manager()
+        self._queue = self._manager.Queue()
+        self._drain = threading.Thread(
+            target=self._pump, name="worker-pool-drain", daemon=True
+        )
+        self._drain.start()
+
+    # -- the pool itself ---------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._executor is None:
+            self._ensure_plane()
+            if self._queue is not None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init,
+                    initargs=(self._queue,),
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> "Future[Any]":
+        """Submit one task; workers (and the event plane) spawn lazily."""
+        with self._lock:
+            return self._ensure_executor().submit(fn, *args, **kwargs)
+
+    def warm(self) -> None:
+        """Force worker (and manager) spawn now, so runs do not pay it.
+
+        Submits one no-op per worker and waits for all of them — after
+        this, every worker process exists and the first real submission
+        is pure work.  The service calls this at server start.
+        """
+        futures = [self.submit(_noop) for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+
+    def respawn(self, wait: bool = False) -> None:
+        """Replace the underlying executor with a fresh one.
+
+        Called after ``BrokenExecutor`` (the old pool is dead) or after
+        a cell timeout (a hung worker would poison its slot forever in
+        a persistent pool).  ``wait=False`` abandons hung workers, the
+        same policy the one-shot executor always had.  The event plane
+        is preserved — freshly spawned workers route into the same
+        queue.
+        """
+        with self._lock:
+            old, self._executor = self._executor, None
+            if old is not None:
+                self.respawns += 1
+                old.shutdown(wait=wait, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut everything down: executor, drain thread, manager."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        if self._queue is not None:
+            try:
+                self._queue.put(None)
+            except Exception:
+                pass
+        if self._drain is not None:
+            self._drain.join(timeout=10.0)
+            self._drain = None
+        if self._manager is not None:
+            try:
+                self._manager.shutdown()
+            except Exception:
+                pass
+            self._manager = None
+            self._queue = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _noop() -> None:
+    """The warm-up task: exists only to force worker spawn."""
+    return None

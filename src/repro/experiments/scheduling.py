@@ -1,0 +1,233 @@
+"""The scheduling core: submit, harvest, retry — against any worker pool.
+
+This is the loop that used to live inside ``ParallelExecutor._execute``,
+extracted so both the one-shot CLI executors and the long-lived service
+gateway (:mod:`repro.service`) drive cells through the same code:
+
+* :func:`schedule_cells` pushes cell specs through a
+  :class:`~repro.experiments.pool.WorkerPool` in **chunks** (one pool
+  submission carries ``chunk`` cells, amortizing pickle/IPC overhead on
+  small cells), harvests results in submission order, and applies the
+  crash-tolerance policy: per-chunk timeout, pool respawn after
+  breakage or a hang, and bounded per-cell retry.
+* :func:`resolve_chunk` picks the chunk size: explicit wins, a per-cell
+  timeout forces ``1`` (a timeout must bound one cell, not a batch),
+  otherwise enough chunks to keep every worker busy a few rounds.
+
+The scheduling is observation-transparent: with a ``bus`` it narrates
+pool openings/breakages, timeouts and retries; without one the schedule
+is identical.  Determinism is untouched — chunking changes *how many
+cells ride one pickle*, never what any cell computes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.plan import CellSpec
+from repro.experiments.pool import WorkerPool
+from repro.experiments.results import CellFailure, CellOutcome
+from repro.obs import sweep as sweepbus
+from repro.obs.sweep import SweepEventBus
+
+__all__ = ["cell_event_fields", "resolve_chunk", "schedule_cells"]
+
+#: A chunk runner: executes a list of cells in a worker, returning one
+#: result per cell *in order* (per-cell exceptions become failures
+#: inside the worker — a raising chunk future means crash or timeout).
+ChunkRunner = Callable[[List[CellSpec]], List[Union[CellOutcome, CellFailure]]]
+
+
+def cell_event_fields(spec: CellSpec) -> Dict[str, Any]:
+    """The identifying fields every cell event carries."""
+    return {
+        "run_id": spec.run_id,
+        "label": spec.label,
+        "faults": bool(spec.faults),
+        "fault_class": spec.fault_class,
+    }
+
+
+def resolve_chunk(
+    cells: int,
+    workers: int,
+    chunk: Optional[int] = None,
+    cell_timeout_s: Optional[float] = None,
+) -> int:
+    """Pick the cells-per-submission for a run of ``cells`` cells.
+
+    A per-cell timeout forces ``1``: ``future.result(timeout=...)``
+    bounds one submission, and a chunk must therefore be one cell for
+    the bound to mean what the flag says.  Otherwise an explicit
+    ``chunk`` wins, and the default splits the run into roughly two
+    submissions per worker — enough rounds that one slow chunk cannot
+    idle the rest of the pool for long, while small cells share a
+    pickle instead of paying one dispatch round-trip each (the
+    sub-1× small-sweep overhead ``BENCH_pr.json`` used to record).
+    Plans smaller than twice the worker count stay at one cell per
+    submission, which also keeps crash blast radius (a dead worker
+    fails its whole chunk) at one cell for the small chaos plans.
+    """
+    if cell_timeout_s is not None:
+        return 1
+    if chunk is not None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        return chunk
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return max(1, cells // (workers * 2))
+
+
+def schedule_cells(
+    pool: WorkerPool,
+    specs: Sequence[CellSpec],
+    run_chunk: ChunkRunner,
+    chunk: int = 1,
+    cell_timeout_s: Optional[float] = None,
+    max_attempts: int = 2,
+    bus: Optional[SweepEventBus] = None,
+) -> Iterator[Union[CellOutcome, CellFailure]]:
+    """Run ``specs`` through ``pool`` and yield one result per cell.
+
+    ``run_chunk`` must be picklable (module-level, or a
+    :func:`functools.partial` of a module-level function — the fork
+    lint enforces this at its call sites) and return one
+    outcome/failure per cell in chunk order.
+
+    Policy, identical to the historical ``ParallelExecutor`` loop:
+
+    * results are harvested in submission order and yielded as they
+      complete, so the caller persists incrementally;
+    * a chunk that exceeds ``cell_timeout_s`` fails its cells and marks
+      the pool hung — the pool is respawned (workers abandoned) before
+      the next round;
+    * a worker crash (:class:`~concurrent.futures.BrokenExecutor`)
+      breaks the pool: chunks that finished before the crash still
+      yield results, every cell of every unfinished chunk is re-queued
+      *individually* (chunk size 1 — the crasher must not take
+      innocent neighbours down with it again), and the pool respawns;
+    * a cell is retried until it has had ``max_attempts`` executions,
+      then fails with a crash diagnosis.
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    attempts: Dict[str, int] = {spec.run_id: 0 for spec in specs}
+    queue: List[List[CellSpec]] = [
+        list(specs[i : i + chunk]) for i in range(0, len(specs), chunk)
+    ]
+    while queue:
+        batch, queue = queue, []
+        for group in batch:
+            for spec in group:
+                attempts[spec.run_id] += 1
+        if bus is not None:
+            bus.emit(
+                sweepbus.POOL_OPENED,
+                workers=pool.workers,
+                batch=sum(len(group) for group in batch),
+            )
+        futures: List[Tuple[List[CellSpec], "Future[Any]"]] = [
+            (group, pool.submit(run_chunk, group)) for group in batch
+        ]
+        hung = False
+        pool_broken = False
+        for group, future in futures:
+            if pool_broken:
+                # The pool already broke: chunks that finished before
+                # the crash still hold results; the rest re-queue.
+                if future.done() and future.exception() is None:
+                    yield from _chunk_results(group, future.result(), attempts)
+                else:
+                    yield from _requeue(group, attempts, queue, max_attempts, bus)
+                continue
+            try:
+                results = future.result(timeout=cell_timeout_s)
+            except FuturesTimeoutError:
+                hung = True
+                for spec in group:
+                    if bus is not None:
+                        bus.emit(
+                            sweepbus.CELL_TIMED_OUT,
+                            timeout_s=cell_timeout_s,
+                            **cell_event_fields(spec),
+                        )
+                    yield CellFailure(
+                        spec,
+                        f"timed out after {cell_timeout_s:g} s",
+                        attempts=attempts[spec.run_id],
+                    )
+            except BrokenExecutor:
+                pool_broken = True
+                if bus is not None:
+                    bus.emit(sweepbus.POOL_BROKEN)
+                yield from _requeue(group, attempts, queue, max_attempts, bus)
+            except Exception as exc:
+                for spec in group:
+                    yield CellFailure(
+                        spec,
+                        f"{type(exc).__name__}: {exc}",
+                        attempts=attempts[spec.run_id],
+                    )
+            else:
+                yield from _chunk_results(group, results, attempts)
+        # A hung worker poisons its slot in a persistent pool, and a
+        # broken pool is dead: either way the next round needs fresh
+        # workers.  ``wait=False`` abandons hung workers, the policy
+        # the one-shot executor always had.
+        if hung:
+            pool.respawn(wait=False)
+        elif pool_broken:
+            pool.respawn(wait=True)
+
+
+def _chunk_results(
+    group: List[CellSpec],
+    results: List[Union[CellOutcome, CellFailure]],
+    attempts: Dict[str, int],
+) -> Iterator[Union[CellOutcome, CellFailure]]:
+    """Yield a finished chunk's results, stamping attempt counts."""
+    for item in results:
+        if isinstance(item, CellFailure):
+            yield replace(item, attempts=attempts.get(item.spec.run_id, 1))
+        else:
+            yield item
+    # A chunk runner that returned short (it must not) would silently
+    # drop cells; surface that as explicit failures instead.
+    returned = {item.spec.run_id for item in results}
+    for spec in group:
+        if spec.run_id not in returned:
+            yield CellFailure(
+                spec,
+                "chunk runner returned no result for this cell",
+                attempts=attempts[spec.run_id],
+            )
+
+
+def _requeue(
+    group: List[CellSpec],
+    attempts: Dict[str, int],
+    queue: List[List[CellSpec]],
+    max_attempts: int,
+    bus: Optional[SweepEventBus],
+) -> Iterator[CellFailure]:
+    """Re-queue a crashed chunk's cells individually, or fail them."""
+    for spec in group:
+        attempted = attempts[spec.run_id]
+        if attempted < max_attempts:
+            queue.append([spec])
+            if bus is not None:
+                bus.emit(
+                    sweepbus.CELL_RETRIED, attempt=attempted, **cell_event_fields(spec)
+                )
+        else:
+            yield CellFailure(
+                spec,
+                f"worker crashed (gave up after {attempted} attempt(s))",
+                attempts=attempted,
+            )

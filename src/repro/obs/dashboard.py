@@ -70,6 +70,7 @@ class SweepDashboard:
         self.workers = 1
         self.executor: Optional[str] = None
         self.cached = 0
+        self.deduped = 0
         self.scheduled = 0
         self.finished = 0
         self.failed = 0
@@ -111,6 +112,7 @@ class SweepDashboard:
             self.executor = event.get("executor")
             self.begun_epoch = event.epoch_s
             self.cached = 0
+            self.deduped = 0
             self.scheduled = 0
             self.finished = 0
             self.failed = 0
@@ -130,6 +132,11 @@ class SweepDashboard:
             )
         elif kind == sweepbus.CELL_CACHED:
             self.cached += 1
+        elif kind == sweepbus.CELL_DEDUPED:
+            # Another job owned this cell's execution; this one joined
+            # the in-flight result.  Counts toward done as a cache hit.
+            self.cached += 1
+            self.deduped += 1
         elif kind == sweepbus.CELL_SCHEDULED:
             self.scheduled += 1
         elif kind == sweepbus.CELL_STARTED:
@@ -205,6 +212,8 @@ class SweepDashboard:
         detail = (
             f"  executed={self.finished} cached={self.cached} failed={self.failed}"
         )
+        if self.deduped:
+            detail += f" deduped={self.deduped}"
         if self.retries:
             detail += f" retries={self.retries}"
         if self.quarantined:
@@ -257,6 +266,8 @@ class SweepDashboard:
             return f"{progress} FAILED {event.get('label', event.run_id)}"
         if event.kind == sweepbus.CELL_RETRIED:
             return f"{progress} retry {event.get('label', event.run_id)}"
+        if event.kind == sweepbus.CELL_DEDUPED:
+            return f"{progress} deduped {event.get('label', event.run_id)}"
         if event.kind == sweepbus.CELL_QUARANTINED:
             return f"{progress} quarantined {event.run_id}"
         if event.kind == sweepbus.SWEEP_END:

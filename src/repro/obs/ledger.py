@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -54,6 +55,10 @@ class RunLedger:
 
     def __init__(self, root: Union[str, Path] = DEFAULT_LEDGER_DIR) -> None:
         self.root = Path(root)
+        # append() is read-check-append; concurrent service jobs that
+        # finish cells simultaneously must not interleave those steps,
+        # or the same record lands twice before either read sees it.
+        self._append_lock = threading.Lock()
 
     @property
     def path(self) -> Path:
@@ -73,18 +78,21 @@ class RunLedger:
         Identical re-runs — same ``run_id`` *and* same measured content
         — are deduped: the ledger is left untouched.  A record with the
         same id but different content (the code changed) appends a new
-        version.
+        version.  Thread-safe: the dedupe check and the append are one
+        atomic step, so concurrent jobs sharing a ledger write one row
+        per unique record, not one per requesting job.
         """
         run_id = str(record.get("run_id", ""))
         if not run_id:
             raise ValueError("run record has no run_id")
         digest = metrics_digest(record)
-        existing = self.get(run_id)
-        if existing is not None and metrics_digest(existing) == digest:
-            return run_id
-        os.makedirs(self.root, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(_dump(record) + "\n")
+        with self._append_lock:
+            existing = self.get(run_id)
+            if existing is not None and metrics_digest(existing) == digest:
+                return run_id
+            os.makedirs(self.root, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(_dump(record) + "\n")
         return run_id
 
     def set_baseline(self, record: Dict[str, Any]) -> Path:

@@ -93,6 +93,7 @@ SWEEP_BEGIN = "sweep_begin"
 SWEEP_END = "sweep_end"
 CELL_SCHEDULED = "cell_scheduled"
 CELL_CACHED = "cell_cached"
+CELL_DEDUPED = "cell_deduped"
 CELL_STARTED = "cell_started"
 CELL_FINISHED = "cell_finished"
 CELL_FAILED = "cell_failed"
@@ -109,6 +110,7 @@ _REQUIRED_BY_KIND: Dict[str, frozenset] = {
     SWEEP_END: frozenset({"executed", "cached", "failed", "wall_s"}),
     CELL_SCHEDULED: frozenset({"run_id", "label"}),
     CELL_CACHED: frozenset({"run_id", "label"}),
+    CELL_DEDUPED: frozenset({"run_id", "label"}),
     CELL_STARTED: frozenset({"run_id", "label", "pid"}),
     CELL_FINISHED: frozenset({"run_id", "label", "wall_s"}),
     CELL_FAILED: frozenset({"run_id", "label", "error", "attempts"}),

@@ -1,0 +1,54 @@
+"""Simulation-as-a-service: the async sweep gateway.
+
+The repo's plan → execute → store core, served: a long-lived process
+(``odr-sim serve``) owns one warm worker pool, one result store, and
+one run ledger, and accepts sweep requests from many concurrent
+clients over a newline-delimited-JSON TCP protocol.  Overlapping
+submissions are deduplicated *in flight* by content-addressed
+``run_id`` — each unique cell executes exactly once, every requester
+sees the identical bits — and each job's sweep events stream to any
+number of watchers (``odr-sim watch --connect``).
+
+Layering (network-facing down to the shared experiment core):
+
+* :mod:`repro.service.gateway` — asyncio TCP server, NDJSON frames;
+* :mod:`repro.service.client` — the synchronous reference client;
+* :mod:`repro.service.protocol` — frames, plan payloads, versioning;
+* :mod:`repro.service.scheduler` — jobs → the shared scheduling core,
+  with cross-job dedupe (:class:`InflightRegistry`), exactly-once
+  publication (:class:`ResultPublisher`), and per-job event routing;
+* :mod:`repro.service.jobs` — the job layer over
+  :class:`~repro.experiments.plan.Plan`.
+
+See ``docs/SERVICE.md`` for the protocol and lifecycle reference.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, parse_address
+from repro.service.gateway import ServiceGateway
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.protocol import PROTOCOL_VERSION, build_plan, plan_payload
+from repro.service.scheduler import (
+    EventRouter,
+    InflightRegistry,
+    ResultPublisher,
+    Subscription,
+    SweepScheduler,
+)
+
+__all__ = [
+    "EventRouter",
+    "InflightRegistry",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "PROTOCOL_VERSION",
+    "ResultPublisher",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceGateway",
+    "Subscription",
+    "SweepScheduler",
+    "build_plan",
+    "parse_address",
+    "plan_payload",
+]

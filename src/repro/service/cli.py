@@ -1,0 +1,384 @@
+"""The service verbs: ``odr-sim serve / submit / status / fetch``.
+
+``serve`` hosts the gateway in the foreground: one warm worker pool,
+one result store (``--resume`` persists it under the ledger's
+``cells/`` so a restarted server warm-starts from disk), one run
+ledger, one asyncio accept loop.  The client verbs are thin wrappers
+over :class:`~repro.service.client.ServiceClient`: ``submit`` sends a
+named plan (``matrix`` / ``bench`` / ``chaos``) and can stay attached
+(``--watch`` streams the job's events into the live dashboard,
+``--wait`` polls to completion), ``status`` lists jobs or shows one,
+and ``fetch`` pulls a single cell's record by ``run_id``.
+
+The parsers plug into the main ``odr-sim`` parser via
+:func:`add_service_parsers`; dispatch routes back through
+:func:`run_service_command`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Any, Dict
+
+from repro.obs.ledger import DEFAULT_LEDGER_DIR
+from repro.workloads import BENCHMARKS, PLATFORMS, Resolution
+
+__all__ = ["add_service_parsers", "run_service_command"]
+
+DEFAULT_PORT = 7433
+
+#: Commands :func:`run_service_command` handles.
+SERVICE_COMMANDS = ("serve", "submit", "status", "fetch")
+
+
+def _add_connect_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--connect", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="HOST:PORT",
+        help="gateway address (default: %(default)s)",
+    )
+
+
+def add_service_parsers(sub: "argparse._SubParsersAction[Any]") -> None:
+    """Register the four service subcommands on the main parser."""
+    serve = sub.add_parser(
+        "serve",
+        help="host the sweep gateway: accept submit/status/fetch/watch "
+             "from many clients over one warm worker pool",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="bind port (0 picks an ephemeral one; default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the shared pool (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--ledger", default=DEFAULT_LEDGER_DIR, help="run-ledger directory"
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="persist completed cells under the ledger directory's cells/ "
+             "store and warm-start from whatever is already there",
+    )
+    serve.add_argument(
+        "--events", action="store_true",
+        help="also persist every job's sweep events to the ledger "
+             "directory's events.jsonl",
+    )
+    serve.add_argument(
+        "--chunk", type=int, default=None, metavar="N",
+        help="cells per pool submission (default: auto-sized per plan)",
+    )
+    serve.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="fail any cell whose result takes longer than S seconds",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=4,
+        help="jobs allowed to make progress concurrently (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--no-warm", action="store_true",
+        help="skip the startup pool warmup (first job pays it instead)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep plan to a running gateway",
+    )
+    _add_connect_arg(submit)
+    submit.add_argument(
+        "kind", choices=("matrix", "bench", "chaos"),
+        help="which server-side demand builder shapes the plan",
+    )
+    submit.add_argument(
+        "--benchmarks", nargs="+", choices=sorted(BENCHMARKS), default=None
+    )
+    submit.add_argument(
+        "--regulators", nargs="+", default=None,
+        help="bench/chaos plans: regulator specs per cell",
+    )
+    submit.add_argument(
+        "--groups", nargs="+", default=None,
+        help="matrix plans: restrict to these configuration groups",
+    )
+    submit.add_argument(
+        "--ablation", action="store_true",
+        help="matrix plans: include the ablation configurations",
+    )
+    submit.add_argument(
+        "--fault-classes", nargs="+", default=None,
+        help="chaos plans: restrict to these fault classes",
+    )
+    submit.add_argument("--seeds", type=int, nargs="+", default=None)
+    submit.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    submit.add_argument(
+        "--resolution", choices=[r.value for r in Resolution], default=None
+    )
+    submit.add_argument("--label", default="", help="free-form job label")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes; exit non-zero if it failed",
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stay attached and stream the job's events into the live "
+             "dashboard until its sweep ends (implies --wait)",
+    )
+
+    status = sub.add_parser(
+        "status", help="list a gateway's jobs, or show one by id/prefix"
+    )
+    _add_connect_arg(status)
+    status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id or unique prefix (default: list all jobs)",
+    )
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch one cell's record from a gateway by run_id"
+    )
+    _add_connect_arg(fetch)
+    fetch.add_argument("run_id", help="content-addressed cell run_id")
+    fetch.add_argument(
+        "-o", "--output", default=None,
+        help="write the fetched JSON here (default: stdout)",
+    )
+
+
+def run_service_command(args: argparse.Namespace) -> int:
+    """Dispatch one of :data:`SERVICE_COMMANDS`."""
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    assert args.command == "fetch"
+    return _cmd_fetch(args)
+
+
+# -- serve -----------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.store import ResultStore
+    from repro.obs.ledger import RunLedger
+    from repro.obs.runmeta import git_revision
+    from repro.obs.sweep import events_path_for
+    from repro.service.gateway import ServiceGateway
+    from repro.service.scheduler import SweepScheduler
+
+    ledger = RunLedger(args.ledger)
+    persist_dir = None
+    if args.resume:
+        persist_dir = os.path.join(args.ledger, "cells")
+    store = ResultStore(persist_dir)
+    warm_cells = 0
+    if persist_dir is not None and os.path.isdir(persist_dir):
+        warm_cells = sum(
+            1 for name in os.listdir(persist_dir) if name.endswith(".json")
+        )
+    scheduler = SweepScheduler(
+        store,
+        ledger=ledger,
+        workers=args.workers,
+        max_parallel_jobs=args.max_jobs,
+        chunk=args.chunk,
+        cell_timeout_s=args.cell_timeout,
+        git_rev=git_revision(),
+        events_path=events_path_for(args.ledger) if args.events else None,
+    )
+    gateway = ServiceGateway(scheduler, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await gateway.start()
+        print(
+            f"serve: listening on {gateway.host}:{gateway.port} "
+            f"({args.workers} worker(s), {warm_cells} warm cell(s), "
+            f"ledger at {ledger.path})",
+            flush=True,
+        )
+        if not args.no_warm:
+            # Warm off the event loop so the listener is live immediately.
+            await asyncio.get_running_loop().run_in_executor(
+                None, scheduler.warm
+            )
+            print("serve: worker pool warm", flush=True)
+        await gateway.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("serve: interrupted", flush=True)
+    finally:
+        scheduler.close()
+    print("serve: shut down", flush=True)
+    return 0
+
+
+# -- client verbs ----------------------------------------------------------
+
+
+def _client(args: argparse.Namespace) -> "Any":
+    from repro.service.client import ServiceClient, parse_address
+
+    host, port = parse_address(args.connect, default_port=DEFAULT_PORT)
+    return ServiceClient(host=host, port=port)
+
+
+def _plan_params(args: argparse.Namespace) -> Dict[str, Any]:
+    """The submitted plan payload, omitting unset knobs.
+
+    Server-side defaults (seeds, platform, horizon) apply to whatever
+    the client leaves out, so two clients submitting the same bare
+    command address the same cells.
+    """
+    params: Dict[str, Any] = {"kind": args.kind}
+    if args.benchmarks is not None:
+        params["benchmarks"] = args.benchmarks
+    if args.regulators is not None:
+        params["regulators"] = args.regulators
+    if args.kind == "matrix" and args.groups is not None:
+        params["groups"] = args.groups
+    if args.kind == "matrix" and args.ablation:
+        params["include_ablation"] = True
+    if args.kind == "chaos" and args.fault_classes is not None:
+        params["fault_classes"] = args.fault_classes
+    if args.seeds is not None:
+        params["seeds"] = args.seeds
+    if args.platform is not None:
+        params["platform"] = args.platform
+    if args.resolution is not None:
+        params["resolution"] = args.resolution
+    params["duration_ms"] = args.duration
+    params["warmup_ms"] = args.warmup
+    return params
+
+
+def _describe_job(job: Dict[str, Any]) -> str:
+    line = (
+        f"{job.get('job_id', '?'):16s} {job.get('state', '?'):8s} "
+        f"{job.get('kind', '?'):7s} cells={job.get('cells', '?')}"
+    )
+    if "executed" in job:
+        line += (
+            f" executed={job['executed']} cached={job['cached']}"
+            f" deduped={job.get('deduped', 0)} failed={job.get('failed', 0)}"
+        )
+    if job.get("label"):
+        line += f"  [{job['label']}]"
+    if job.get("error"):
+        line += f"  error: {job['error']}"
+    return line
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _client(args)
+    try:
+        job = client.submit(_plan_params(args), label=args.label)
+    except (OSError, ServiceError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    job_id = str(job["job_id"])
+    print(f"submitted {job_id}: {job.get('cells', '?')} cell(s) at {args.connect}")
+    if args.watch:
+        code = _stream_job(client, job_id)
+        if code != 0:
+            return code
+    if args.watch or args.wait:
+        job = client.wait(job_id)
+        print(_describe_job(job))
+        return 0 if job.get("state") == "done" else 1
+    return 0
+
+
+def _stream_job(client: "Any", job_id: str) -> int:
+    """Stream one job's events into the live dashboard (used by
+    ``submit --watch`` and ``watch --connect``)."""
+    from repro.obs.dashboard import SweepDashboard
+    from repro.service.client import ServiceError
+
+    dashboard = SweepDashboard()
+    try:
+        for event in client.watch(job_id):
+            dashboard.handle(event)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except (OSError, ServiceError) as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def watch_remote(args: argparse.Namespace) -> int:
+    """``odr-sim watch --connect``: follow a server-side job's stream."""
+    from repro.service.client import ServiceError
+
+    client = _client(args)
+    job_id = args.job
+    try:
+        if job_id is None:
+            jobs = client.jobs()
+            if not jobs:
+                print(f"watch: no jobs at {args.connect}", file=sys.stderr)
+                return 1
+            job_id = str(jobs[-1]["job_id"])  # newest submission
+    except (OSError, ServiceError) as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 2
+    print(f"watch: streaming job {job_id} from {args.connect}")
+    return _stream_job(client, job_id)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _client(args)
+    try:
+        if args.job_id is not None:
+            job = client.status(args.job_id)["job"]
+            print(_describe_job(job))
+            return 0
+        jobs = client.jobs()
+    except (OSError, ServiceError) as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print(f"status: no jobs at {args.connect}")
+        return 0
+    for job in jobs:
+        print(_describe_job(job))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _client(args)
+    try:
+        payload = client.fetch(args.run_id)
+    except (OSError, ServiceError) as exc:
+        print(f"fetch: {exc}", file=sys.stderr)
+        return 2
+    body = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(body)
+        print(
+            f"fetch: wrote {args.run_id} "
+            f"(digest {payload.get('metrics_digest')}) to {args.output}"
+        )
+    else:
+        sys.stdout.write(body)
+    return 0

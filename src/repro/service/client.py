@@ -1,0 +1,145 @@
+"""A synchronous client for the sweep gateway.
+
+:class:`ServiceClient` speaks the NDJSON protocol over a plain socket
+— one connection per request (the server is cheap to dial), except
+:meth:`watch`, which holds its connection open and yields sweep events
+as they stream.  Used by the ``odr-sim submit/status/fetch`` verbs,
+``odr-sim watch --connect``, and the service tests; being stdlib-only
+and synchronous, it is also the reference third-party client: the
+whole protocol fits in this file.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.plan import Plan
+from repro.obs.sweep import SweepEvent
+from repro.service.protocol import decode_frame, encode_frame, plan_payload
+
+__all__ = ["ServiceClient", "ServiceError", "parse_address"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (or the stream broke)."""
+
+
+def parse_address(address: str, default_port: int = 7433) -> Tuple[str, int]:
+    """``"host:port"`` (or bare ``"host"``) → ``(host, port)``."""
+    host, _, port = address.rpartition(":")
+    if not host:
+        return address, default_port
+    return host, int(port)
+
+
+class ServiceClient:
+    """Blocking NDJSON client for one gateway address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7433, timeout_s: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self, timeout_s: Optional[float]) -> socket.socket:
+        return socket.create_connection((self.host, self.port), timeout=timeout_s)
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response, one connection."""
+        with self._connect(self.timeout_s) as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(encode_frame(payload))
+                stream.flush()
+                line = stream.readline()
+        if not line:
+            raise ServiceError("server closed the connection without answering")
+        response = decode_frame(line)
+        if not response.get("ok", False):
+            raise ServiceError(str(response.get("error", "request failed")))
+        return response
+
+    # -- the verbs ---------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def submit(
+        self, plan: Dict[str, Any], label: str = ""
+    ) -> Dict[str, Any]:
+        """Submit a plan payload (``{"kind": ..., ...}``); returns the job."""
+        response = self._request({"op": "submit", "plan": plan, "label": label})
+        job = response["job"]
+        assert isinstance(job, dict)
+        return job
+
+    def submit_plan(self, plan: Plan, label: str = "") -> Dict[str, Any]:
+        """Submit a locally built :class:`Plan` via the ``cells`` form."""
+        return self.submit(plan_payload(plan), label=label)
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"op": "status"}
+        if job_id is not None:
+            request["job_id"] = job_id
+        return self._request(request)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        jobs = self.status()["jobs"]
+        assert isinstance(jobs, list)
+        return jobs
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "result", "job_id": job_id})
+
+    def fetch(self, run_id: str) -> Dict[str, Any]:
+        return self._request({"op": "fetch", "run_id": run_id})
+
+    def shutdown(self) -> None:
+        self._request({"op": "shutdown"})
+
+    def wait(self, job_id: str, poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll ``status`` until the job reaches a terminal state."""
+        import time
+
+        while True:
+            job = self.status(job_id)["job"]
+            assert isinstance(job, dict)
+            if job.get("state") in ("done", "failed"):
+                return job
+            time.sleep(poll_s)
+
+    def watch(
+        self, job_id: str, timeout_s: Optional[float] = None
+    ) -> Iterator[SweepEvent]:
+        """Stream one job's sweep events until its ``sweep_end``.
+
+        History replays first, so watching a finished job yields its
+        whole log and returns.  Closing the iterator (or the caller
+        going away) drops the connection; the server and job carry on.
+        """
+        with self._connect(self.timeout_s) as sock:
+            sock.settimeout(timeout_s)
+            with sock.makefile("rwb") as stream:
+                stream.write(encode_frame({"op": "watch", "job_id": job_id}))
+                stream.flush()
+                header = stream.readline()
+                if not header:
+                    raise ServiceError("server closed the watch stream")
+                opening = decode_frame(header)
+                if not opening.get("ok", False):
+                    raise ServiceError(
+                        str(opening.get("error", "watch rejected"))
+                    )
+                while True:
+                    line = stream.readline()
+                    if not line:
+                        raise ServiceError("watch stream ended mid-sweep")
+                    frame = decode_frame(line)
+                    if frame.get("done"):
+                        return
+                    event = frame.get("event")
+                    if isinstance(event, dict):
+                        yield SweepEvent.from_dict(event)

@@ -1,0 +1,110 @@
+"""The job layer: one client request for one sweep, with a lifecycle.
+
+A *job* wraps one :class:`~repro.experiments.plan.Plan` submitted to
+the gateway:
+
+* :class:`JobSpec` — the plain-data request (which demand builder,
+  with which parameters, plus a human label);
+* :class:`JobState` — the lifecycle
+  ``queued → running → done | failed`` (``failed`` means the job
+  machinery itself broke; individual cell failures leave the job
+  ``done`` with failures enumerated on its report, exactly like an
+  offline sweep);
+* :class:`Job` — the live record the scheduler mutates and the gateway
+  reads: state, timestamps, the per-job
+  :class:`~repro.obs.sweep.SweepEventBus` clients stream from, and the
+  per-job :class:`~repro.experiments.results.ExecutionReport` once the
+  sweep completes.
+
+Job identity is time-of-submission identity (two submissions of the
+same plan are two jobs); *cell* identity stays content-addressed by
+``run_id``, which is what cross-job dedupe keys on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.experiments.plan import Plan
+from repro.experiments.results import ExecutionReport
+from repro.obs.sweep import SweepEventBus
+
+__all__ = ["Job", "JobSpec", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one submitted sweep."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The plain-data request one ``submit`` carries.
+
+    ``kind`` names a demand builder (``cells``, ``matrix``, ``bench``,
+    ``chaos`` — see :func:`repro.service.protocol.build_plan`) and
+    ``params`` its JSON-safe arguments.  Figure- and table-shaped
+    plans ride the ``cells`` kind: any plan serializes to its cell
+    list.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass
+class Job:
+    """One submitted sweep, from queue to report.
+
+    Mutated only by the scheduler (state transitions, report); read
+    concurrently by the gateway.  Field updates are single reference
+    assignments, and :meth:`summary` snapshots a consistent wire view.
+    """
+
+    job_id: str
+    spec: JobSpec
+    plan: Plan
+    #: Per-job event stream (``sweep_id == job_id``); clients subscribe
+    #: through the scheduler, which replays history before going live.
+    bus: SweepEventBus
+    state: JobState = JobState.QUEUED
+    submitted_epoch_s: float = 0.0
+    started_epoch_s: Optional[float] = None
+    finished_epoch_s: Optional[float] = None
+    report: Optional[ExecutionReport] = None
+    #: Infrastructure failure diagnosis (``state == FAILED`` only).
+    error: Optional[str] = None
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe snapshot for ``status`` responses."""
+        report = self.report
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "label": self.spec.label,
+            "kind": self.spec.kind,
+            "state": self.state.value,
+            "cells": len(self.plan),
+            "submitted_epoch_s": self.submitted_epoch_s,
+            "started_epoch_s": self.started_epoch_s,
+            "finished_epoch_s": self.finished_epoch_s,
+        }
+        if report is not None:
+            out["executed"] = report.executed
+            out["cached"] = report.cached
+            out["deduped"] = report.deduped
+            out["failed"] = len(report.failures)
+            out["ok"] = report.ok
+        if self.error is not None:
+            out["error"] = self.error
+        return out

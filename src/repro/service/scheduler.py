@@ -1,0 +1,538 @@
+"""The sweep scheduler: many jobs, one pool, each unique cell once.
+
+:class:`SweepScheduler` is the server-side engine behind the gateway.
+It owns the shared execution state — one warm
+:class:`~repro.experiments.pool.WorkerPool`, one
+:class:`~repro.experiments.store.ResultStore`, one
+:class:`~repro.obs.ledger.RunLedger` — and runs each submitted job on
+a thread through the same scheduling core
+(:func:`~repro.experiments.scheduling.schedule_cells`) the offline
+executors use.  Three small pieces make concurrent jobs safe:
+
+* :class:`InflightRegistry` — cross-job in-flight dedupe by ``run_id``.
+  The first job to reach a missing cell *claims* it and executes; any
+  concurrent job with the same cell *joins* and waits for the owner's
+  result.  Two clients submitting overlapping matrices execute each
+  unique cell exactly once, and both see the identical record (the
+  cell is content-addressed; whoever runs it computes the same bits).
+* :class:`ResultPublisher` — the single write path for finished cells.
+  Only the owning job publishes a cell, so the store sees one ``put``
+  and the ledger one append per unique ``run_id`` — never one per
+  requesting job.
+* :class:`EventRouter` — fans worker-side sweep events (which carry a
+  ``run_id``, not a job id) out to the bus of the job that owns the
+  cell, so each job's event stream narrates exactly its own sweep.
+
+Determinism is inherited, not re-proven: cells execute through the
+same :func:`~repro.experiments.executor.execute_cells` body as offline
+runs, so records and metrics digests are bit-identical to a serial run
+of the union plan — the acceptance invariant the service tests check.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.executor import execute_cells
+from repro.experiments.plan import CellSpec
+from repro.experiments.pool import WorkerPool
+from repro.experiments.results import (
+    CellFailure,
+    CellOutcome,
+    ExecutionReport,
+    exec_meta,
+)
+from repro.experiments.scheduling import (
+    cell_event_fields,
+    resolve_chunk,
+    schedule_cells,
+)
+from repro.experiments.store import ResultStore
+from repro.obs import sweep as sweepbus
+from repro.obs.ledger import RunLedger
+from repro.obs.probes import host_epoch, host_wallclock
+from repro.obs.runmeta import config_fingerprint
+from repro.obs.sweep import SweepEvent, SweepEventBus
+from repro.service.jobs import Job, JobSpec, JobState
+
+__all__ = [
+    "EventRouter",
+    "InflightRegistry",
+    "ResultPublisher",
+    "Subscription",
+    "SweepScheduler",
+]
+
+
+class _Inflight:
+    """One claimed cell: who owns it, and how it resolved."""
+
+    __slots__ = ("owner", "done", "error")
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self.done = threading.Event()
+        self.error: Optional[str] = None
+
+
+class InflightRegistry:
+    """Claim-or-join arbitration for concurrently demanded cells.
+
+    The first claimer of a ``run_id`` owns its execution; later
+    claimers join and :meth:`wait` for the owner to resolve.  A cell
+    resolved with an error is re-claimable (the next job to demand it
+    retries); a cell resolved clean stays joined forever — its record
+    is in the store.  Deadlock-free by construction: a job resolves
+    every cell it owns (success, failure, or owner-abort) *before* it
+    waits on any cell it joined, so cross-job waits only ever point at
+    execution phases, never at other waits.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Inflight] = {}
+
+    def claim(self, run_id: str, owner: str) -> bool:
+        """True → ``owner`` executes this cell; False → join and wait."""
+        with self._lock:
+            entry = self._entries.get(run_id)
+            if entry is None or (entry.done.is_set() and entry.error is not None):
+                self._entries[run_id] = _Inflight(owner)
+                return True
+            return False
+
+    def resolve(self, run_id: str, error: Optional[str] = None) -> None:
+        """Owner's completion signal: clean, or with a failure cause."""
+        with self._lock:
+            entry = self._entries.get(run_id)
+        if entry is not None and not entry.done.is_set():
+            entry.error = error
+            entry.done.set()
+
+    def wait(self, run_id: str, timeout_s: Optional[float] = None) -> Optional[str]:
+        """Block until the owner resolves; returns its error (None = clean)."""
+        with self._lock:
+            entry = self._entries.get(run_id)
+        if entry is None:
+            return "in-flight entry vanished before resolution"
+        if not entry.done.wait(timeout_s):
+            return f"timed out waiting for in-flight owner ({entry.owner})"
+        return entry.error
+
+    def abort_owned(self, owner: str, error: str) -> None:
+        """Resolve every unresolved cell ``owner`` claimed, as failed.
+
+        Called from the owning job's ``finally`` so joiners never wait
+        on a job that died before reaching a cell.
+        """
+        with self._lock:
+            entries = [
+                e for e in self._entries.values() if e.owner == owner
+            ]
+        for entry in entries:
+            if not entry.done.is_set():
+                entry.error = error
+                entry.done.set()
+
+
+class ResultPublisher:
+    """The single write path for finished cells: store + ledger, once.
+
+    Ownership (one publisher call per unique ``run_id``) is the
+    :class:`InflightRegistry`'s guarantee; the lock here additionally
+    keeps the store write and the ledger append of one cell adjacent,
+    so a concurrent reader never sees a ledger row whose cell file is
+    still being written.
+    """
+
+    def __init__(self, store: ResultStore, ledger: Optional[RunLedger]) -> None:
+        self._store = store
+        self._ledger = ledger
+        self._lock = threading.Lock()
+
+    def publish(self, outcome: CellOutcome) -> None:
+        with self._lock:
+            self._store.put(
+                outcome.spec.run_id, outcome.record, exec_meta=exec_meta(outcome)
+            )
+            if self._ledger is not None and outcome.ledger_record is not None:
+                self._ledger.append(outcome.ledger_record)
+
+
+class EventRouter:
+    """Fan worker-side events out to the owning job's bus.
+
+    Worker events identify cells (``run_id``), not jobs; the router
+    holds the run→bus mapping for every cell currently owned by a
+    running job.  Events without a ``run_id`` (``worker_spawned``) are
+    pool-level and broadcast to every active job.  ``deactivate``
+    removes a job under the dispatch lock, so once it returns no
+    further event can reach that job's bus — the job then emits its
+    ``sweep_end`` knowing its stream is sealed.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_run: Dict[str, SweepEventBus] = {}
+        self._active: Dict[str, SweepEventBus] = {}
+
+    def activate(self, job_id: str, bus: SweepEventBus, run_ids: List[str]) -> None:
+        with self._lock:
+            self._active[job_id] = bus
+            for run_id in run_ids:
+                self._by_run[run_id] = bus
+
+    def deactivate(self, job_id: str) -> None:
+        with self._lock:
+            bus = self._active.pop(job_id, None)
+            if bus is not None:
+                self._by_run = {
+                    run_id: b for run_id, b in self._by_run.items() if b is not bus
+                }
+
+    def dispatch(self, kind: str, fields: Dict[str, Any]) -> None:
+        """The pool's event sink (called on the pool's drain thread)."""
+        with self._lock:
+            run_id = fields.get("run_id")
+            if run_id is None:
+                for bus in self._active.values():
+                    bus.emit(kind, **fields)
+                return
+            bus = self._by_run.get(str(run_id))
+            if bus is not None:
+                bus.emit(kind, **fields)
+
+
+class Subscription:
+    """One client's ordered, gap-free view of a job's event stream.
+
+    Subscribing races the live bus: events emitted between the
+    subscribe call and the history replay could arrive twice or out of
+    order.  The subscription buffers live events until the replay
+    finishes, then merges by ``seq`` (each bus numbers its events
+    densely), delivering every event exactly once, in order.
+    """
+
+    def __init__(self, deliver: Callable[[SweepEvent], None]) -> None:
+        self._deliver = deliver
+        self._lock = threading.Lock()
+        self._live = False
+        self._closed = False
+        self._pending: List[SweepEvent] = []
+        self._last_seq = -1
+
+    def _on_event(self, event: SweepEvent) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if not self._live:
+                self._pending.append(event)
+                return
+            if event.seq <= self._last_seq:
+                return
+            self._last_seq = event.seq
+            deliver = self._deliver
+        deliver(event)
+
+    def start(self, bus: SweepEventBus) -> "Subscription":
+        bus.subscribe(self._on_event)
+        history = list(bus.events)
+        with self._lock:
+            merged = {event.seq: event for event in history}
+            for event in self._pending:
+                merged.setdefault(event.seq, event)
+            self._pending = []
+            backlog = [merged[seq] for seq in sorted(merged)]
+            if backlog:
+                self._last_seq = backlog[-1].seq
+            self._live = True
+        for event in backlog:
+            if not self._closed:
+                self._deliver(event)
+        return self
+
+    def close(self) -> None:
+        """Stop delivery (the bus keeps the dead callback; it no-ops)."""
+        with self._lock:
+            self._closed = True
+
+
+class SweepScheduler:
+    """Run submitted jobs concurrently over one shared pool and store."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        ledger: Optional[RunLedger] = None,
+        pool: Optional[WorkerPool] = None,
+        workers: int = 2,
+        max_parallel_jobs: int = 4,
+        chunk: Optional[int] = None,
+        cell_timeout_s: Optional[float] = None,
+        max_attempts: int = 2,
+        git_rev: Optional[str] = None,
+        events_path: Optional[str] = None,
+    ) -> None:
+        if max_parallel_jobs < 1:
+            raise ValueError("max_parallel_jobs must be >= 1")
+        self.store = store
+        self.ledger = ledger
+        self.pool = pool if pool is not None else WorkerPool(workers, events=True)
+        self.chunk = chunk
+        self.cell_timeout_s = cell_timeout_s
+        self.max_attempts = max_attempts
+        self.git_rev = git_rev
+        #: Where job buses persist their events (None → in-memory only).
+        self.events_path = events_path
+        self.inflight = InflightRegistry()
+        self.publisher = ResultPublisher(store, ledger)
+        self.router = EventRouter()
+        self.pool.attach_sink(self.router.dispatch)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_counter = 0
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_parallel_jobs, thread_name_prefix="odr-job"
+        )
+        self._closed = False
+
+    # -- job intake --------------------------------------------------------
+
+    def _new_job_id(self) -> str:
+        with self._jobs_lock:
+            self._job_counter += 1
+            nonce = self._job_counter
+        return "job-" + config_fingerprint(
+            {"epoch": host_epoch(), "pid": os.getpid(), "job": nonce}
+        )[:12]
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue one sweep; returns the live job record immediately."""
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        from repro.service.protocol import build_plan
+
+        plan = build_plan(spec.kind, dict(spec.params))
+        job_id = self._new_job_id()
+        bus = SweepEventBus(path=self.events_path, sweep_id=job_id)
+        job = Job(
+            job_id=job_id,
+            spec=spec,
+            plan=plan,
+            bus=bus,
+            submitted_epoch_s=host_epoch(),
+        )
+        with self._jobs_lock:
+            self._jobs[job_id] = job
+        self._threads.submit(self._run_job, job)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """Job by id (unique prefixes accepted, newest match wins)."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job
+            match: Optional[Job] = None
+            for candidate_id, candidate in self._jobs.items():
+                if candidate_id.startswith(job_id):
+                    match = candidate
+            return match
+
+    def jobs(self) -> List[Job]:
+        """Every job, oldest first."""
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    def subscribe(
+        self, job_id: str, deliver: Callable[[SweepEvent], None]
+    ) -> Subscription:
+        """Stream a job's events (history replayed first) into ``deliver``."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return Subscription(deliver).start(job.bus)
+
+    # -- the job body ------------------------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started_epoch_s = host_epoch()
+        sweep_started = host_wallclock()
+        bus = job.bus
+        outcomes: Dict[str, CellOutcome] = {}
+        failures: Dict[str, CellFailure] = {}
+        try:
+            bus.emit(
+                sweepbus.SWEEP_BEGIN,
+                cells=len(job.plan),
+                executor="service",
+                workers=self.pool.workers,
+            )
+            missing: List[CellSpec] = []
+            for spec in job.plan:
+                record = self.store.get(spec.run_id)
+                if record is not None:
+                    outcomes[spec.run_id] = CellOutcome(
+                        spec=spec,
+                        record=record,
+                        ledger_record=None,
+                        wall_clock_s=0.0,
+                        cached=True,
+                    )
+                    bus.emit(sweepbus.CELL_CACHED, **cell_event_fields(spec))
+                else:
+                    missing.append(spec)
+            owned: List[CellSpec] = []
+            joined: List[CellSpec] = []
+            for spec in missing:
+                if self.inflight.claim(spec.run_id, job.job_id):
+                    owned.append(spec)
+                    bus.emit(sweepbus.CELL_SCHEDULED, **cell_event_fields(spec))
+                else:
+                    joined.append(spec)
+            self._execute_owned(job, owned, outcomes, failures)
+            self._await_joined(job, joined, outcomes, failures)
+            job.report = ExecutionReport(
+                outcomes=tuple(
+                    outcomes[run_id]
+                    for run_id in job.plan.run_ids
+                    if run_id in outcomes
+                ),
+                failures=tuple(
+                    failures[run_id]
+                    for run_id in job.plan.run_ids
+                    if run_id in failures
+                ),
+            )
+            job.state = JobState.DONE
+        except Exception as exc:  # infrastructure failure, not a cell failure
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+        finally:
+            job.finished_epoch_s = host_epoch()
+            try:
+                # The stream's terminal frame: watchers key end-of-job
+                # off it, so it is emitted on every exit path.
+                bus.emit(
+                    sweepbus.SWEEP_END,
+                    executed=sum(1 for o in outcomes.values() if not o.cached),
+                    cached=sum(1 for o in outcomes.values() if o.cached),
+                    failed=len(failures),
+                    wall_s=host_wallclock() - sweep_started,
+                )
+            finally:
+                bus.close()
+
+    def _execute_owned(
+        self,
+        job: Job,
+        owned: List[CellSpec],
+        outcomes: Dict[str, CellOutcome],
+        failures: Dict[str, CellFailure],
+    ) -> None:
+        """Run this job's claimed cells; publish and resolve each once."""
+        if not owned:
+            return
+        bus = job.bus
+        self.router.activate(job.job_id, bus, [spec.run_id for spec in owned])
+        run_chunk = partial(
+            execute_cells,
+            collect_ledger=self.ledger is not None,
+            git_rev=self.git_rev,
+        )
+        chunk = resolve_chunk(
+            len(owned), self.pool.workers, self.chunk, self.cell_timeout_s
+        )
+        try:
+            for item in schedule_cells(
+                self.pool,
+                owned,
+                run_chunk,
+                chunk=chunk,
+                cell_timeout_s=self.cell_timeout_s,
+                max_attempts=self.max_attempts,
+                bus=bus,
+            ):
+                run_id = item.spec.run_id
+                if isinstance(item, CellFailure):
+                    failures[run_id] = item
+                    bus.emit(
+                        sweepbus.CELL_FAILED,
+                        error=item.error,
+                        attempts=item.attempts,
+                        **cell_event_fields(item.spec),
+                    )
+                    self.inflight.resolve(run_id, error=item.error)
+                    continue
+                self.publisher.publish(item)
+                outcomes[run_id] = item
+                resources = (
+                    item.resources.to_dict() if item.resources is not None else None
+                )
+                bus.emit(
+                    sweepbus.CELL_FINISHED,
+                    wall_s=item.wall_clock_s,
+                    resources=resources,
+                    **cell_event_fields(item.spec),
+                )
+                self.inflight.resolve(run_id)
+        finally:
+            # Whatever happened above, joiners must never wait forever:
+            # any cell this job claimed but did not resolve is failed.
+            self.inflight.abort_owned(job.job_id, "owning job aborted")
+            self.router.deactivate(job.job_id)
+
+    def _await_joined(
+        self,
+        job: Job,
+        joined: List[CellSpec],
+        outcomes: Dict[str, CellOutcome],
+        failures: Dict[str, CellFailure],
+    ) -> None:
+        """Collect cells another concurrent job owns (cross-job dedupe)."""
+        bus = job.bus
+        for spec in joined:
+            error = self.inflight.wait(spec.run_id)
+            record = self.store.get(spec.run_id) if error is None else None
+            if error is None and record is None:
+                error = "owner resolved but result missing from store"
+            if error is not None:
+                failure = CellFailure(spec, f"deduped execution failed: {error}")
+                failures[spec.run_id] = failure
+                bus.emit(
+                    sweepbus.CELL_FAILED,
+                    error=failure.error,
+                    attempts=1,
+                    **cell_event_fields(spec),
+                )
+                continue
+            assert record is not None
+            outcomes[spec.run_id] = CellOutcome(
+                spec=spec,
+                record=record,
+                ledger_record=None,
+                wall_clock_s=0.0,
+                cached=True,
+                deduped=True,
+            )
+            bus.emit(sweepbus.CELL_DEDUPED, **cell_event_fields(spec))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def warm(self) -> None:
+        """Pre-spawn the pool's workers (paid once per server)."""
+        self.pool.warm()
+
+    def close(self, close_pool: bool = True) -> None:
+        """Drain running jobs, then shut the thread pool (and pool) down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._threads.shutdown(wait=True)
+        if close_pool:
+            self.pool.close()
