@@ -449,6 +449,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --connect: job id or unique prefix to follow "
              "(default: the newest submission)",
     )
+    watch.add_argument(
+        "--connect-wait", type=float, default=5.0, metavar="S",
+        help="with --connect: keep dialing a not-yet-listening gateway "
+             "for S seconds (default: %(default)s)",
+    )
+    watch.add_argument(
+        "--retries", type=int, default=5, metavar="N",
+        help="with --connect: attempts per request, and stream "
+             "reconnections, on retryable failures (default: %(default)s)",
+    )
 
     sweep_trace = sub.add_parser(
         "sweep-trace",

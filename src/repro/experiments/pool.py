@@ -39,7 +39,19 @@ from typing import Any, Callable, Dict, Optional
 from repro.obs import sweep as sweepbus
 from repro.obs.probes import host_epoch
 
-__all__ = ["WorkerPool"]
+__all__ = ["PoolUnavailableError", "WorkerPool"]
+
+
+class PoolUnavailableError(RuntimeError):
+    """The pool cannot provide workers at all — it is closed, or the
+    host refuses to spawn worker processes (fork/spawn failure, fd or
+    process limits).  Distinct from :class:`~concurrent.futures.BrokenExecutor`
+    (workers existed and died, which :meth:`WorkerPool.respawn` heals):
+    this is the signal that respawning cannot help, and callers who can
+    degrade — the service scheduler falls back to serial in-process
+    execution — should.  Subclasses :class:`RuntimeError` so existing
+    ``except RuntimeError`` handlers keep working.
+    """
 
 #: Signature of a worker-event sink: ``sink(kind, fields)``.
 EventSink = Callable[[str, Dict[str, Any]], None]
@@ -139,17 +151,24 @@ class WorkerPool:
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._closed:
-            raise RuntimeError("worker pool is closed")
+            raise PoolUnavailableError("worker pool is closed")
         if self._executor is None:
-            self._ensure_plane()
-            if self._queue is not None:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_worker_init,
-                    initargs=(self._queue,),
-                )
-            else:
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            try:
+                self._ensure_plane()
+                if self._queue is not None:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_worker_init,
+                        initargs=(self._queue,),
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            except OSError as exc:
+                # The host refused to give us workers (process/fd
+                # limits, a dead manager): respawning cannot help.
+                raise PoolUnavailableError(
+                    f"cannot spawn worker processes: {exc}"
+                ) from exc
         return self._executor
 
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> "Future[Any]":

@@ -17,6 +17,12 @@ package:
 * :mod:`repro.faults.catalog` — the named fault classes the
   ``odr-sim chaos`` sweep instantiates per cell horizon.
 
+* :mod:`repro.faults.service` — the *service-plane* chaos taxonomy
+  (:class:`ServiceFaultSpec` subclasses) and the seeded
+  :class:`ChaosTransport` that makes the gateway's own wire misbehave
+  as a pure function of (plan, seed) — the same philosophy, pointed at
+  the infrastructure instead of the simulation.
+
 Recovery analytics live in :mod:`repro.metrics.recovery`; the sweep
 harness in :mod:`repro.experiments.chaos`.  See ``docs/ROBUSTNESS.md``.
 """
@@ -29,6 +35,21 @@ from repro.faults.injectors import (
     WindowScaleSampler,
     apply_fault_plan,
     inject_stall,
+)
+from repro.faults.service import (
+    SERVICE_FAULT_TYPES,
+    ChaosDecisions,
+    ChaosSocket,
+    ChaosTransport,
+    ConnectRefusal,
+    ConnectionDrop,
+    DelayedWrite,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+    SlowRead,
+    TcpTransport,
+    TruncatedFrame,
+    service_fault_from_dict,
 )
 from repro.faults.spec import (
     FAULT_TYPES,
@@ -47,8 +68,15 @@ from repro.faults.spec import (
 __all__ = [
     "FAULT_CLASSES",
     "FAULT_TYPES",
+    "SERVICE_FAULT_TYPES",
     "BandwidthCollapse",
+    "ChaosDecisions",
+    "ChaosSocket",
+    "ChaosTransport",
     "ClientPause",
+    "ConnectRefusal",
+    "ConnectionDrop",
+    "DelayedWrite",
     "FaultController",
     "FaultPlan",
     "FaultSpec",
@@ -56,13 +84,19 @@ __all__ = [
     "GpuPreemption",
     "NetworkOutage",
     "PacketLossBurst",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
+    "SlowRead",
     "StageStall",
     "StallInjector",
     "StallStorm",
+    "TcpTransport",
+    "TruncatedFrame",
     "WindowScaleSampler",
     "apply_fault_plan",
     "build_fault_plan",
     "fault_class_names",
     "fault_from_dict",
     "inject_stall",
+    "service_fault_from_dict",
 ]

@@ -1,0 +1,370 @@
+"""Service-plane fault injection: seeded chaos for the gateway wire.
+
+PR 5 made the *simulated* pipeline's failures declarative and seeded;
+this module extends the same philosophy to the service plane itself.
+A :class:`ServiceFaultSpec` declares one kind of transport misbehavior
+— connection refusal, mid-stream drops, truncated frames, slow-loris
+reads, delayed writes — and a :class:`ChaosTransport` wraps the
+client's NDJSON-over-TCP layer so every connection misbehaves as a
+**pure function of (fault plan, seed, connection index)**:
+
+* :meth:`ChaosTransport.decisions_for` computes the fault decisions
+  for the *n*-th connection from seeded draws alone — no wall clock,
+  no shared state — so a chaos run's behavior is replayable and tests
+  can assert the exact decision sequence for a fixed seed;
+* :class:`ChaosSocket` applies those decisions to a real socket,
+  raising the same builtin exceptions (:class:`ConnectionRefusedError`,
+  :class:`ConnectionResetError`) a hostile network would, which the
+  resilient client maps to retryable
+  :class:`~repro.service.errors.TransportError`.
+
+These specs deliberately do **not** subclass
+:class:`repro.faults.spec.FaultSpec`: the simulation fault taxonomy is
+bound to simulated time windows and the injector contract, while
+service faults live in host time on the wire.  They share the idiom
+(frozen dataclass, ``kind`` discriminator, registry, canonical dicts),
+not the type.
+
+This module must not import :mod:`repro.service` — the client imports
+*us* (``repro.service.client`` accepts any transport), and the reverse
+edge would cycle through :mod:`repro.experiments.chaos`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.simcore.rng import SeededRng, derive_seed
+
+__all__ = [
+    "ChaosDecisions",
+    "ChaosSocket",
+    "ChaosTransport",
+    "ConnectRefusal",
+    "ConnectionDrop",
+    "DelayedWrite",
+    "SERVICE_FAULT_TYPES",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
+    "SlowRead",
+    "TcpTransport",
+    "TruncatedFrame",
+    "service_fault_from_dict",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """Base class of service-plane fault specs: frozen, serializable."""
+
+    #: Stable taxonomy name; keys :data:`SERVICE_FAULT_TYPES`.
+    kind: ClassVar[str] = "service_fault"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form (includes the ``kind`` discriminator)."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for spec_field in fields(self):
+            payload[spec_field.name] = getattr(self, spec_field.name)
+        return payload
+
+
+@dataclass(frozen=True)
+class ConnectRefusal(ServiceFaultSpec):
+    """With probability ``prob``, a connection attempt is refused
+    outright (the gateway restarting, a full accept backlog)."""
+
+    prob: float
+
+    kind: ClassVar[str] = "connect_refusal"
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.prob <= 1, "refusal probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ConnectionDrop(ServiceFaultSpec):
+    """With probability ``prob``, the connection resets after
+    ``after_bytes`` bytes have been read from it — a NAT timeout or a
+    crashing peer mid-response."""
+
+    prob: float
+    after_bytes: int = 64
+
+    kind: ClassVar[str] = "connection_drop"
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.prob <= 1, "drop probability must be in [0, 1]")
+        _require(self.after_bytes >= 0, "after_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class TruncatedFrame(ServiceFaultSpec):
+    """With probability ``prob``, one write sends only ``keep_fraction``
+    of its bytes and then resets — the peer sees a half frame followed
+    by EOF, the classic torn-line case the server must survive."""
+
+    prob: float
+    keep_fraction: float = 0.5
+
+    kind: ClassVar[str] = "truncated_frame"
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.prob <= 1, "truncation probability must be in [0, 1]")
+        _require(
+            0 <= self.keep_fraction < 1, "keep_fraction must be in [0, 1)"
+        )
+
+
+@dataclass(frozen=True)
+class SlowRead(ServiceFaultSpec):
+    """With probability ``prob``, every read on the connection stalls
+    ``delay_s`` first — a slow-loris client from the server's view,
+    a congested path from the client's."""
+
+    prob: float
+    delay_s: float = 0.01
+
+    kind: ClassVar[str] = "slow_read"
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.prob <= 1, "slow-read probability must be in [0, 1]")
+        _require(self.delay_s >= 0, "delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class DelayedWrite(ServiceFaultSpec):
+    """With probability ``prob``, every write on the connection is
+    delayed ``delay_s`` — send-buffer pressure, a paused uplink."""
+
+    prob: float
+    delay_s: float = 0.01
+
+    kind: ClassVar[str] = "delayed_write"
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.prob <= 1, "delay probability must be in [0, 1]")
+        _require(self.delay_s >= 0, "delay must be non-negative")
+
+
+#: Registry of service fault types by taxonomy name.
+SERVICE_FAULT_TYPES: Dict[str, Type[ServiceFaultSpec]] = {
+    spec_type.kind: spec_type
+    for spec_type in (
+        ConnectRefusal,
+        ConnectionDrop,
+        TruncatedFrame,
+        SlowRead,
+        DelayedWrite,
+    )
+}
+
+
+def service_fault_from_dict(payload: Mapping[str, Any]) -> ServiceFaultSpec:
+    """Rebuild a spec from :meth:`ServiceFaultSpec.to_dict` output."""
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or kind not in SERVICE_FAULT_TYPES:
+        raise ValueError(f"unknown service fault kind {kind!r}")
+    spec_type = SERVICE_FAULT_TYPES[kind]
+    names = {spec_field.name for spec_field in fields(spec_type)}
+    kwargs = {key: value for key, value in payload.items() if key in names}
+    extra = set(payload) - names - {"kind"}
+    if extra:
+        raise ValueError(f"unknown fields for {kind}: {sorted(extra)}")
+    return spec_type(**kwargs)
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """An ordered, immutable collection of service fault specs."""
+
+    faults: Tuple[ServiceFaultSpec, ...] = ()
+
+    def __init__(self, faults: Sequence[ServiceFaultSpec] = ()) -> None:
+        object.__setattr__(self, "faults", tuple(faults))
+
+    def __iter__(self) -> Iterator[ServiceFaultSpec]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def to_payload(self) -> List[Dict[str, Any]]:
+        """Canonical JSON-ready form (order-preserving)."""
+        return [fault.to_dict() for fault in self.faults]
+
+    @classmethod
+    def from_payload(
+        cls, payload: Sequence[Mapping[str, Any]]
+    ) -> "ServiceFaultPlan":
+        return cls(tuple(service_fault_from_dict(item) for item in payload))
+
+
+@dataclass(frozen=True)
+class ChaosDecisions:
+    """Every fault decision for one connection, fully precomputed.
+
+    A pure function of ``(plan, seed, connection index)`` — tests
+    assert these directly instead of racing live sockets.
+    """
+
+    refuse_connect: bool = False
+    drop_after_bytes: Optional[int] = None
+    truncate_keep_fraction: Optional[float] = None
+    read_delay_s: float = 0.0
+    write_delay_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when this connection behaves perfectly."""
+        return (
+            not self.refuse_connect
+            and self.drop_after_bytes is None
+            and self.truncate_keep_fraction is None
+            and self.read_delay_s == 0.0
+            and self.write_delay_s == 0.0
+        )
+
+
+class TcpTransport:
+    """The default, fault-free transport: a plain TCP connect.
+
+    Exists so the client has one seam — :class:`ChaosTransport` (and
+    test doubles) substitute here without the client knowing.
+    """
+
+    def open(
+        self, host: str, port: int, timeout_s: Optional[float] = None
+    ) -> socket.socket:
+        return socket.create_connection((host, port), timeout=timeout_s)
+
+
+class ChaosSocket:
+    """A socket wrapper that acts out one connection's fault decisions.
+
+    Raises the builtin exceptions a hostile network raises
+    (:class:`ConnectionResetError`), so callers cannot tell injected
+    weather from real weather — which is the point.
+    """
+
+    def __init__(self, sock: socket.socket, decisions: ChaosDecisions) -> None:
+        self._sock = sock
+        self._decisions = decisions
+        self._received = 0
+        self._truncated = False
+
+    def sendall(self, data: bytes) -> None:
+        decisions = self._decisions
+        if decisions.write_delay_s > 0:
+            time.sleep(decisions.write_delay_s)
+        if decisions.truncate_keep_fraction is not None and not self._truncated:
+            self._truncated = True
+            keep = int(len(data) * decisions.truncate_keep_fraction)
+            if keep:
+                self._sock.sendall(data[:keep])
+            try:
+                self._sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+            raise ConnectionResetError("chaos: frame truncated mid-write")
+        self._sock.sendall(data)
+
+    def recv(self, bufsize: int) -> bytes:
+        decisions = self._decisions
+        if decisions.read_delay_s > 0:
+            time.sleep(decisions.read_delay_s)
+        if (
+            decisions.drop_after_bytes is not None
+            and self._received >= decisions.drop_after_bytes
+        ):
+            raise ConnectionResetError("chaos: connection dropped mid-stream")
+        data = self._sock.recv(bufsize)
+        self._received += len(data)
+        return data
+
+    def settimeout(self, timeout_s: Optional[float]) -> None:
+        self._sock.settimeout(timeout_s)
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class ChaosTransport:
+    """A transport whose every connection misbehaves deterministically.
+
+    Wraps an ``inner`` transport (default: real TCP).  The *n*-th
+    :meth:`open` call applies :meth:`decisions_for(n) <decisions_for>`,
+    so a client run under a fixed ``(plan, seed)`` sees the same fault
+    sequence every time — chaos you can put in a regression test.
+    """
+
+    def __init__(
+        self,
+        plan: ServiceFaultPlan,
+        seed: int,
+        inner: Optional[TcpTransport] = None,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.inner = inner if inner is not None else TcpTransport()
+        self._connections = 0
+        #: Decisions acted out so far, by connection index (observability).
+        self.log: List[ChaosDecisions] = []
+
+    def decisions_for(self, index: int) -> ChaosDecisions:
+        """Fault decisions for the ``index``-th connection — pure.
+
+        Draws consume the seeded stream in spec order, one decision per
+        spec, from a child RNG derived per connection index; no draw
+        depends on live socket state, so two transports with the same
+        plan and seed agree on every index.
+        """
+        rng = SeededRng(derive_seed(self.seed, "service-faults", str(index)))
+        refuse = False
+        drop_after: Optional[int] = None
+        keep_fraction: Optional[float] = None
+        read_delay = 0.0
+        write_delay = 0.0
+        for spec in self.plan:
+            hit = rng.bernoulli(getattr(spec, "prob", 0.0))
+            if not hit:
+                continue
+            if isinstance(spec, ConnectRefusal):
+                refuse = True
+            elif isinstance(spec, ConnectionDrop):
+                drop_after = spec.after_bytes
+            elif isinstance(spec, TruncatedFrame):
+                keep_fraction = spec.keep_fraction
+            elif isinstance(spec, SlowRead):
+                read_delay = max(read_delay, spec.delay_s)
+            elif isinstance(spec, DelayedWrite):
+                write_delay = max(write_delay, spec.delay_s)
+        return ChaosDecisions(
+            refuse_connect=refuse,
+            drop_after_bytes=drop_after,
+            truncate_keep_fraction=keep_fraction,
+            read_delay_s=read_delay,
+            write_delay_s=write_delay,
+        )
+
+    def open(
+        self, host: str, port: int, timeout_s: Optional[float] = None
+    ) -> ChaosSocket:
+        index = self._connections
+        self._connections += 1
+        decisions = self.decisions_for(index)
+        self.log.append(decisions)
+        if decisions.refuse_connect:
+            raise ConnectionRefusedError("chaos: connection refused")
+        sock = self.inner.open(host, port, timeout_s=timeout_s)
+        return ChaosSocket(sock, decisions)

@@ -173,6 +173,19 @@ class SweepDashboard:
         elif kind == sweepbus.POOL_BROKEN:
             self._push_failure("worker pool broke; reopening")
             self.active.clear()
+        elif kind == sweepbus.JOB_RECOVERED:
+            self._push_failure(
+                f"recovered {event.get('job_id')} from the job journal "
+                f"({event.get('cells')} cell(s))"
+            )
+        elif kind == sweepbus.DEGRADED_SERIAL:
+            self._push_failure(
+                f"pool unavailable ({event.get('reason')}); finishing "
+                f"{event.get('cells')} cell(s) serially in-process"
+            )
+            self.active.clear()
+        elif kind == sweepbus.LOAD_SHED:
+            self._push_failure(f"submit shed: {event.get('reason')}")
 
     def _clear_lane(self, run_id: str) -> None:
         for pid, (lane_run_id, _, _) in list(self.active.items()):
@@ -270,6 +283,16 @@ class SweepDashboard:
             return f"{progress} deduped {event.get('label', event.run_id)}"
         if event.kind == sweepbus.CELL_QUARANTINED:
             return f"{progress} quarantined {event.run_id}"
+        if event.kind == sweepbus.JOB_RECOVERED:
+            return (
+                f"recovered {event.get('job_id')} from the job journal "
+                f"({event.get('cells')} cell(s))"
+            )
+        if event.kind == sweepbus.DEGRADED_SERIAL:
+            return (
+                f"pool unavailable; {event.get('cells')} cell(s) "
+                f"falling back to serial in-process execution"
+            )
         if event.kind == sweepbus.SWEEP_END:
             return f"sweep end: {self.end_summary}"
         return None

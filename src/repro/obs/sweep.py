@@ -12,7 +12,12 @@ events** the executors (:mod:`repro.experiments.executor`) emit into:
   ``cell_retried`` / ``cell_timed_out`` / ``cell_quarantined``;
 * pool lifecycle — ``pool_opened`` / ``pool_broken`` /
   ``worker_spawned``;
-* sweep boundaries — ``sweep_begin`` / ``sweep_end``.
+* sweep boundaries — ``sweep_begin`` / ``sweep_end``;
+* service plane (:mod:`repro.service`) — ``job_recovered`` (a journaled
+  job resumed after a gateway crash), ``client_retry`` (an idempotent
+  resubmit or a ``watch`` stream resumption arrived), ``load_shed``
+  (admission control rejected a submit), ``degraded_serial`` (the
+  worker pool died and the job fell back to in-process execution).
 
 Worker processes attach per-cell **resource telemetry**
 (:class:`CellResources`: wall time, CPU user/sys via
@@ -103,6 +108,10 @@ CELL_QUARANTINED = "cell_quarantined"
 WORKER_SPAWNED = "worker_spawned"
 POOL_OPENED = "pool_opened"
 POOL_BROKEN = "pool_broken"
+JOB_RECOVERED = "job_recovered"
+CLIENT_RETRY = "client_retry"
+LOAD_SHED = "load_shed"
+DEGRADED_SERIAL = "degraded_serial"
 
 #: Fields an event of each kind must carry (beyond the envelope).
 _REQUIRED_BY_KIND: Dict[str, frozenset] = {
@@ -120,6 +129,10 @@ _REQUIRED_BY_KIND: Dict[str, frozenset] = {
     WORKER_SPAWNED: frozenset({"pid"}),
     POOL_OPENED: frozenset({"workers", "batch"}),
     POOL_BROKEN: frozenset(),
+    JOB_RECOVERED: frozenset({"job_id", "cells"}),
+    CLIENT_RETRY: frozenset({"op"}),
+    LOAD_SHED: frozenset({"reason"}),
+    DEGRADED_SERIAL: frozenset({"reason"}),
 }
 
 #: Every event kind the schema knows.

@@ -39,6 +39,15 @@ def _add_connect_arg(sub: argparse.ArgumentParser) -> None:
         "--connect", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="HOST:PORT",
         help="gateway address (default: %(default)s)",
     )
+    sub.add_argument(
+        "--connect-wait", type=float, default=5.0, metavar="S",
+        help="keep dialing a not-yet-listening gateway for S seconds "
+             "(default: %(default)s)",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=5, metavar="N",
+        help="attempts per request on retryable failures (default: %(default)s)",
+    )
 
 
 def add_service_parsers(sub: "argparse._SubParsersAction[Any]") -> None:
@@ -85,6 +94,16 @@ def add_service_parsers(sub: "argparse._SubParsersAction[Any]") -> None:
     serve.add_argument(
         "--no-warm", action="store_true",
         help="skip the startup pool warmup (first job pays it instead)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=64, metavar="N",
+        help="admission bound: reject submits (BUSY, retry-after) beyond "
+             "N non-terminal jobs (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=30.0, metavar="S",
+        help="per-connection request-read deadline in seconds "
+             "(default: %(default)s)",
     )
 
     submit = sub.add_parser(
@@ -167,13 +186,16 @@ def run_service_command(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
     import os
+    import signal
 
     from repro.experiments.store import ResultStore
     from repro.obs.ledger import RunLedger
     from repro.obs.runmeta import git_revision
     from repro.obs.sweep import events_path_for
     from repro.service.gateway import ServiceGateway
+    from repro.service.journal import JobJournal, journal_path_for
     from repro.service.scheduler import SweepScheduler
 
     ledger = RunLedger(args.ledger)
@@ -195,22 +217,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cell_timeout_s=args.cell_timeout,
         git_rev=git_revision(),
         events_path=events_path_for(args.ledger) if args.events else None,
+        max_queued_jobs=args.max_queued,
+        journal=JobJournal(journal_path_for(args.ledger)),
     )
-    gateway = ServiceGateway(scheduler, host=args.host, port=args.port)
+    gateway = ServiceGateway(
+        scheduler,
+        host=args.host,
+        port=args.port,
+        read_timeout_s=args.read_timeout,
+    )
 
     async def _serve() -> None:
         await gateway.start()
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            # Graceful drain on SIGTERM: stop accepting, let running
+            # jobs finish and journal their terminal states.
+            loop.add_signal_handler(signal.SIGTERM, gateway.begin_shutdown)
         print(
             f"serve: listening on {gateway.host}:{gateway.port} "
             f"({args.workers} worker(s), {warm_cells} warm cell(s), "
             f"ledger at {ledger.path})",
             flush=True,
         )
+        if args.resume:
+            recovered = await loop.run_in_executor(None, scheduler.recover)
+            if recovered:
+                print(
+                    "serve: recovered "
+                    + ", ".join(job.job_id for job in recovered)
+                    + " from the job journal",
+                    flush=True,
+                )
         if not args.no_warm:
             # Warm off the event loop so the listener is live immediately.
-            await asyncio.get_running_loop().run_in_executor(
-                None, scheduler.warm
-            )
+            await loop.run_in_executor(None, scheduler.warm)
             print("serve: worker pool warm", flush=True)
         await gateway.serve_until_shutdown()
 
@@ -228,10 +269,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _client(args: argparse.Namespace) -> "Any":
-    from repro.service.client import ServiceClient, parse_address
+    from repro.service.client import RetryPolicy, ServiceClient, parse_address
 
     host, port = parse_address(args.connect, default_port=DEFAULT_PORT)
-    return ServiceClient(host=host, port=port)
+    return ServiceClient(
+        host=host,
+        port=port,
+        retry=RetryPolicy(attempts=max(1, int(getattr(args, "retries", 5)))),
+        connect_wait_s=float(getattr(args, "connect_wait", 5.0)),
+    )
 
 
 def _plan_params(args: argparse.Namespace) -> Dict[str, Any]:

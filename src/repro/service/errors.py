@@ -1,0 +1,123 @@
+"""The service error taxonomy: what broke, and whether to retry.
+
+Every failure the service layer surfaces is a :class:`ServiceError`.
+The hierarchy exists so callers — the retrying
+:class:`~repro.service.client.ServiceClient`, the CLI verbs, tests —
+can *distinguish retryable infrastructure weather from fatal contract
+violations* without parsing message strings:
+
+==========================  =============================================
+:class:`TransportError`     the bytes stopped flowing: connection
+                            refused/reset, a read timed out, the stream
+                            ended mid-frame.  **Retryable** — nothing
+                            about the request itself was wrong.
+:class:`ProtocolError`      the bytes flowed but made no sense: junk
+                            JSON, an oversized frame, a half-closed
+                            socket mid-line, version drift.  **Fatal**
+                            — retrying resends the same nonsense.
+:class:`ServerBusy`         admission control shed the request; carries
+                            the server's ``retry_after_s`` hint.
+                            **Retryable**, after backing off.
+:class:`JobLost`            the addressed job is unknown to the server
+                            (wrong id, or a restart without a journal
+                            dropped it).  **Fatal** for this job id.
+==========================  =============================================
+
+On the wire, failures ride error frames as
+``{"ok": false, "error": msg, "code": <code>}`` (plus
+``retry_after_s`` for ``busy``); :data:`ERROR_CODES` maps each code
+back to its exception class so the client re-raises the same type the
+server classified.
+
+:class:`ServiceError` subclasses :class:`RuntimeError`, preserving the
+pre-taxonomy contract (``except ServiceError`` and
+``except RuntimeError`` both still catch everything).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+__all__ = [
+    "ERROR_CODES",
+    "JobLost",
+    "ProtocolError",
+    "ServerBusy",
+    "ServiceError",
+    "TransportError",
+    "error_for_code",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base of everything the service layer raises.
+
+    ``retryable`` is the class-level policy the client's retry loop
+    consults; ``code`` is the wire discriminator an error frame carries.
+    """
+
+    #: Whether a fresh attempt of the same request can succeed.
+    retryable: bool = False
+    #: Wire error code (``error_frame(code=...)``) this class maps to.
+    code: str = "error"
+
+
+class TransportError(ServiceError):
+    """The connection failed: refused, reset, timed out, or closed
+    mid-frame.  The request may or may not have reached the server —
+    which is why mutating requests carry idempotency tokens."""
+
+    retryable = True
+    code = "transport"
+
+
+class ProtocolError(ServiceError):
+    """The peer spoke bytes that do not parse as protocol frames
+    (junk JSON, invalid UTF-8, an oversized line, version drift).
+    Retrying would resend the same nonsense, so this is fatal."""
+
+    retryable = False
+    code = "protocol"
+
+
+class ServerBusy(ServiceError):
+    """Admission control rejected the request (the submit queue is at
+    its bound).  ``retry_after_s`` is the server's backoff hint."""
+
+    retryable = True
+    code = "busy"
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobLost(ServiceError):
+    """The addressed job id is unknown to the server — a typo, or a
+    gateway restart that had no journal to recover the job from."""
+
+    retryable = False
+    code = "job_lost"
+
+
+#: Wire code → exception class (the client's re-raise table).
+ERROR_CODES: Dict[str, Type[ServiceError]] = {
+    cls.code: cls
+    for cls in (TransportError, ProtocolError, ServerBusy, JobLost)
+}
+
+
+def error_for_code(
+    code: Optional[str], message: str, retry_after_s: Optional[float] = None
+) -> ServiceError:
+    """Build the typed exception an error frame's ``code`` names.
+
+    Unknown and absent codes degrade to the :class:`ServiceError` base
+    — a server newer than this client still fails loud, just untyped.
+    """
+    cls = ERROR_CODES.get(code or "")
+    if cls is ServerBusy:
+        return ServerBusy(message, retry_after_s=retry_after_s)
+    if cls is None:
+        return ServiceError(message)
+    return cls(message)

@@ -61,6 +61,12 @@ class JobSpec:
     kind: str
     params: Mapping[str, Any] = field(default_factory=dict)
     label: str = ""
+    #: Client-chosen idempotency token.  A resubmit carrying a token the
+    #: scheduler has already accepted *joins* the existing job instead
+    #: of forking a duplicate — the at-most-once half of the client's
+    #: at-least-once retry loop.  Empty means "no dedupe, every submit
+    #: is a new job" (the pre-token behavior).
+    token: str = ""
 
 
 @dataclass
@@ -85,6 +91,9 @@ class Job:
     report: Optional[ExecutionReport] = None
     #: Infrastructure failure diagnosis (``state == FAILED`` only).
     error: Optional[str] = None
+    #: True when this job was replayed from the job journal after a
+    #: gateway crash rather than submitted by a live client.
+    recovered: bool = False
 
     def summary(self) -> Dict[str, Any]:
         """JSON-safe snapshot for ``status`` responses."""
@@ -107,4 +116,6 @@ class Job:
             out["ok"] = report.ok
         if self.error is not None:
             out["error"] = self.error
+        if self.recovered:
+            out["recovered"] = True
         return out

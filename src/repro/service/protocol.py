@@ -78,8 +78,25 @@ def decode_frame(line: bytes) -> Dict[str, Any]:
     return payload
 
 
-def error_frame(message: str) -> Dict[str, Any]:
-    return {"ok": False, "error": message}
+def error_frame(
+    message: str,
+    code: Optional[str] = None,
+    retry_after_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One failure response.
+
+    ``code`` is the :mod:`repro.service.errors` taxonomy discriminator
+    (``transport`` / ``protocol`` / ``busy`` / ``job_lost``) the client
+    maps back to a typed exception; ``retry_after_s`` rides along with
+    ``busy`` as the server's backoff hint.  Both are optional so old
+    clients (which only read ``error``) keep working.
+    """
+    frame: Dict[str, Any] = {"ok": False, "error": message}
+    if code is not None:
+        frame["code"] = code
+    if retry_after_s is not None:
+        frame["retry_after_s"] = retry_after_s
+    return frame
 
 
 def plan_payload(plan: Plan, kind: str = "cells") -> Dict[str, Any]:

@@ -27,6 +27,27 @@ Determinism is inherited, not re-proven: cells execute through the
 same :func:`~repro.experiments.executor.execute_cells` body as offline
 runs, so records and metrics digests are bit-identical to a serial run
 of the union plan — the acceptance invariant the service tests check.
+
+The scheduler is also the gateway's survival layer:
+
+* **admission control** — at most ``max_queued_jobs`` non-terminal jobs
+  are admitted; beyond that :meth:`SweepScheduler.submit` raises
+  :class:`~repro.service.errors.ServerBusy` (with a retry-after hint)
+  and emits a ``load_shed`` event, so overload degrades to explicit
+  backpressure instead of unbounded queueing;
+* **journaled recovery** — with a :class:`~repro.service.journal.JobJournal`
+  attached, every accepted job is journaled before it runs and again
+  when it finishes; :meth:`SweepScheduler.recover` replays
+  submitted-but-unfinished jobs after a crash under their original ids
+  and tokens.  The store pass only trusts cells present in **both** the
+  store and the ledger, so a crash torn between ``store.put`` and
+  ``ledger.append`` re-executes that cell (bit-identically; the ledger
+  append then dedupes) instead of silently dropping its ledger row;
+* **degraded serial execution** — when the warm pool cannot provide
+  workers at all (:class:`~repro.experiments.pool.PoolUnavailableError`),
+  the job falls back to in-process serial execution of its remaining
+  cells through the same ``execute_cells`` body, emitting
+  ``degraded_serial`` — slower, never wrong.
 """
 
 from __future__ import annotations
@@ -35,11 +56,11 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.experiments.executor import execute_cells
 from repro.experiments.plan import CellSpec
-from repro.experiments.pool import WorkerPool
+from repro.experiments.pool import PoolUnavailableError, WorkerPool
 from repro.experiments.results import (
     CellFailure,
     CellOutcome,
@@ -57,7 +78,9 @@ from repro.obs.ledger import RunLedger
 from repro.obs.probes import host_epoch, host_wallclock
 from repro.obs.runmeta import config_fingerprint
 from repro.obs.sweep import SweepEvent, SweepEventBus
+from repro.service.errors import ServerBusy
 from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.journal import JobJournal
 
 __all__ = [
     "EventRouter",
@@ -215,15 +238,24 @@ class Subscription:
     order.  The subscription buffers live events until the replay
     finishes, then merges by ``seq`` (each bus numbers its events
     densely), delivering every event exactly once, in order.
+
+    ``since_seq`` makes the stream *resumable*: a reconnecting watcher
+    passes the last ``seq`` it saw, and the replay skips everything at
+    or below it — the client's event log continues gap-free across a
+    dropped connection instead of starting over.
     """
 
-    def __init__(self, deliver: Callable[[SweepEvent], None]) -> None:
+    def __init__(
+        self,
+        deliver: Callable[[SweepEvent], None],
+        since_seq: int = -1,
+    ) -> None:
         self._deliver = deliver
         self._lock = threading.Lock()
         self._live = False
         self._closed = False
         self._pending: List[SweepEvent] = []
-        self._last_seq = -1
+        self._last_seq = since_seq
 
     def _on_event(self, event: SweepEvent) -> None:
         with self._lock:
@@ -246,7 +278,9 @@ class Subscription:
             for event in self._pending:
                 merged.setdefault(event.seq, event)
             self._pending = []
-            backlog = [merged[seq] for seq in sorted(merged)]
+            backlog = [
+                merged[seq] for seq in sorted(merged) if seq > self._last_seq
+            ]
             if backlog:
                 self._last_seq = backlog[-1].seq
             self._live = True
@@ -276,9 +310,13 @@ class SweepScheduler:
         max_attempts: int = 2,
         git_rev: Optional[str] = None,
         events_path: Optional[str] = None,
+        max_queued_jobs: int = 64,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if max_parallel_jobs < 1:
             raise ValueError("max_parallel_jobs must be >= 1")
+        if max_queued_jobs < 1:
+            raise ValueError("max_queued_jobs must be >= 1")
         self.store = store
         self.ledger = ledger
         self.pool = pool if pool is not None else WorkerPool(workers, events=True)
@@ -288,6 +326,10 @@ class SweepScheduler:
         self.git_rev = git_rev
         #: Where job buses persist their events (None → in-memory only).
         self.events_path = events_path
+        #: Admission bound: most non-terminal jobs held at once.
+        self.max_queued_jobs = max_queued_jobs
+        #: Crash-recovery journal (None → job state is memory-only).
+        self.journal = journal
         self.inflight = InflightRegistry()
         self.publisher = ResultPublisher(store, ledger)
         self.router = EventRouter()
@@ -295,10 +337,27 @@ class SweepScheduler:
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._job_counter = 0
+        #: Idempotency-token → job id (the resubmit-joins-job table).
+        self._tokens: Dict[str, str] = {}
         self._threads = ThreadPoolExecutor(
             max_workers=max_parallel_jobs, thread_name_prefix="odr-job"
         )
         self._closed = False
+        #: Server-level control-plane stream: admission decisions and
+        #: detected client retries, which belong to no single job.  It
+        #: is a sweep bus like any other (``sweep_id`` = this server's
+        #: identity), so the same validators and dashboards apply.
+        self.server_bus = SweepEventBus(
+            path=events_path,
+            sweep_id="server-"
+            + config_fingerprint({"epoch": host_epoch(), "pid": os.getpid()})[:12],
+        )
+        self.server_bus.emit(
+            sweepbus.SWEEP_BEGIN,
+            cells=0,
+            executor="service-control",
+            workers=self.pool.workers,
+        )
 
     # -- job intake --------------------------------------------------------
 
@@ -310,14 +369,62 @@ class SweepScheduler:
             {"epoch": host_epoch(), "pid": os.getpid(), "job": nonce}
         )[:12]
 
-    def submit(self, spec: JobSpec) -> Job:
-        """Queue one sweep; returns the live job record immediately."""
+    def _active_jobs(self) -> int:
+        with self._jobs_lock:
+            return sum(1 for job in self._jobs.values() if not job.state.terminal)
+
+    def submit(
+        self,
+        spec: JobSpec,
+        job_id: Optional[str] = None,
+        recovered: bool = False,
+    ) -> Job:
+        """Queue one sweep; returns the live job record immediately.
+
+        Three admission outcomes precede queueing:
+
+        * a ``spec.token`` the scheduler already accepted **joins** the
+          existing job (idempotent resubmit — the client retried a
+          submit whose reply it lost) and emits ``client_retry``;
+        * more than :attr:`max_queued_jobs` non-terminal jobs raises
+          :class:`~repro.service.errors.ServerBusy` and emits
+          ``load_shed`` — explicit backpressure, never silent queueing;
+        * otherwise the job is journaled (so a crash cannot lose it)
+          and queued.
+
+        ``job_id``/``recovered`` are the recovery path's levers: replay
+        resubmits under the original identity without re-journaling.
+        """
         if self._closed:
             raise RuntimeError("scheduler is closed")
         from repro.service.protocol import build_plan
 
+        if spec.token:
+            with self._jobs_lock:
+                known = self._tokens.get(spec.token)
+                existing = self._jobs.get(known) if known is not None else None
+            if existing is not None:
+                self.server_bus.emit(
+                    sweepbus.CLIENT_RETRY,
+                    op="submit",
+                    token=spec.token,
+                    job_id=existing.job_id,
+                )
+                return existing
+        active = self._active_jobs()
+        if not recovered and active >= self.max_queued_jobs:
+            self.server_bus.emit(
+                sweepbus.LOAD_SHED,
+                reason=f"{active} active jobs >= max_queued_jobs "
+                f"({self.max_queued_jobs})",
+                active_jobs=active,
+            )
+            raise ServerBusy(
+                f"submit queue full ({active} active jobs)",
+                retry_after_s=1.0,
+            )
         plan = build_plan(spec.kind, dict(spec.params))
-        job_id = self._new_job_id()
+        job_id = job_id if job_id is not None else self._new_job_id()
         bus = SweepEventBus(path=self.events_path, sweep_id=job_id)
         job = Job(
             job_id=job_id,
@@ -325,11 +432,50 @@ class SweepScheduler:
             plan=plan,
             bus=bus,
             submitted_epoch_s=host_epoch(),
+            recovered=recovered,
         )
         with self._jobs_lock:
             self._jobs[job_id] = job
+            if spec.token:
+                self._tokens[spec.token] = job_id
+        if self.journal is not None and not recovered:
+            self.journal.record_submitted(
+                job_id=job_id,
+                kind=spec.kind,
+                params=spec.params,
+                label=spec.label,
+                token=spec.token,
+                cells=len(plan),
+            )
         self._threads.submit(self._run_job, job)
         return job
+
+    def recover(self) -> List[Job]:
+        """Replay submitted-but-unfinished journaled jobs after a crash.
+
+        Each pending journal entry is resubmitted under its **original**
+        job id and idempotency token, so clients that saw the submit
+        acknowledged before the crash keep polling the same id, and
+        client-side submit retries join the recovered job.  The store
+        pass then recalls every cell the previous life completed — only
+        the missing cells execute, and the content-addressed ledger
+        dedupes their re-appends, so the resumed sweep's results and
+        ledger are bit-identical to an uninterrupted run's.
+        """
+        if self.journal is None:
+            return []
+        recovered: List[Job] = []
+        for entry in self.journal.pending():
+            spec = JobSpec(
+                kind=entry.kind,
+                params=entry.params,
+                label=entry.label,
+                token=entry.token,
+            )
+            recovered.append(
+                self.submit(spec, job_id=entry.job_id, recovered=True)
+            )
+        return recovered
 
     def get(self, job_id: str) -> Optional[Job]:
         """Job by id (unique prefixes accepted, newest match wins)."""
@@ -349,15 +495,30 @@ class SweepScheduler:
             return list(self._jobs.values())
 
     def subscribe(
-        self, job_id: str, deliver: Callable[[SweepEvent], None]
+        self,
+        job_id: str,
+        deliver: Callable[[SweepEvent], None],
+        since_seq: int = -1,
     ) -> Subscription:
-        """Stream a job's events (history replayed first) into ``deliver``."""
+        """Stream a job's events (history replayed first) into ``deliver``.
+
+        ``since_seq`` skips replay at or below that sequence number —
+        how a reconnecting watcher resumes instead of starting over.
+        """
         job = self.get(job_id)
         if job is None:
             raise KeyError(job_id)
-        return Subscription(deliver).start(job.bus)
+        return Subscription(deliver, since_seq=since_seq).start(job.bus)
 
     # -- the job body ------------------------------------------------------
+
+    def _ledger_run_ids(self) -> Optional[Set[str]]:
+        """All ``run_id``s the ledger holds (None when no ledger)."""
+        if self.ledger is None:
+            return None
+        return {
+            str(record.get("run_id", "")) for record in self.ledger.records()
+        }
 
     def _run_job(self, job: Job) -> None:
         job.state = JobState.RUNNING
@@ -373,10 +534,25 @@ class SweepScheduler:
                 executor="service",
                 workers=self.pool.workers,
             )
+            if job.recovered:
+                bus.emit(
+                    sweepbus.JOB_RECOVERED,
+                    job_id=job.job_id,
+                    cells=len(job.plan),
+                    label=job.spec.label,
+                )
+            # The store pass only trusts cells the *ledger* also has: a
+            # crash torn between store.put and ledger.append would
+            # otherwise leave a resumed sweep's ledger permanently one
+            # row short.  Re-executing such a cell is bit-identical and
+            # its ledger append dedupes, so the repair is free of drift.
+            ledgered = self._ledger_run_ids()
             missing: List[CellSpec] = []
             for spec in job.plan:
                 record = self.store.get(spec.run_id)
-                if record is not None:
+                if record is not None and (
+                    ledgered is None or spec.run_id in ledgered
+                ):
                     outcomes[spec.run_id] = CellOutcome(
                         spec=spec,
                         record=record,
@@ -415,6 +591,22 @@ class SweepScheduler:
             job.state = JobState.FAILED
         finally:
             job.finished_epoch_s = host_epoch()
+            if self.journal is not None:
+                try:
+                    self.journal.record_finished(
+                        job.job_id,
+                        state=job.state.value,
+                        executed=sum(
+                            1 for o in outcomes.values() if not o.cached
+                        ),
+                        cached=sum(1 for o in outcomes.values() if o.cached),
+                        failed=len(failures),
+                        error=job.error,
+                    )
+                except OSError:
+                    # A full disk must not unwind past the sweep_end
+                    # emit below; the job simply replays on resume.
+                    pass
             try:
                 # The stream's terminal frame: watchers key end-of-job
                 # off it, so it is emitted on every exit path.
@@ -449,43 +641,78 @@ class SweepScheduler:
             len(owned), self.pool.workers, self.chunk, self.cell_timeout_s
         )
         try:
-            for item in schedule_cells(
-                self.pool,
-                owned,
-                run_chunk,
-                chunk=chunk,
-                cell_timeout_s=self.cell_timeout_s,
-                max_attempts=self.max_attempts,
-                bus=bus,
-            ):
-                run_id = item.spec.run_id
-                if isinstance(item, CellFailure):
-                    failures[run_id] = item
-                    bus.emit(
-                        sweepbus.CELL_FAILED,
-                        error=item.error,
-                        attempts=item.attempts,
-                        **cell_event_fields(item.spec),
-                    )
-                    self.inflight.resolve(run_id, error=item.error)
-                    continue
-                self.publisher.publish(item)
-                outcomes[run_id] = item
-                resources = (
-                    item.resources.to_dict() if item.resources is not None else None
-                )
+            try:
+                for item in schedule_cells(
+                    self.pool,
+                    owned,
+                    run_chunk,
+                    chunk=chunk,
+                    cell_timeout_s=self.cell_timeout_s,
+                    max_attempts=self.max_attempts,
+                    bus=bus,
+                ):
+                    self._absorb_result(job, item, outcomes, failures)
+            except PoolUnavailableError as exc:
+                # The pool cannot provide workers at all (closed, or the
+                # host refuses to spawn processes) — respawning cannot
+                # help.  Degrade to serial in-process execution of the
+                # remaining cells through the exact same execute_cells
+                # body: slower, bit-identical, never silently dropped.
+                remaining = [
+                    spec
+                    for spec in owned
+                    if spec.run_id not in outcomes
+                    and spec.run_id not in failures
+                ]
                 bus.emit(
-                    sweepbus.CELL_FINISHED,
-                    wall_s=item.wall_clock_s,
-                    resources=resources,
-                    **cell_event_fields(item.spec),
+                    sweepbus.DEGRADED_SERIAL,
+                    reason=f"{type(exc).__name__}: {exc}",
+                    cells=len(remaining),
                 )
-                self.inflight.resolve(run_id)
+                for item in execute_cells(
+                    remaining,
+                    collect_ledger=self.ledger is not None,
+                    git_rev=self.git_rev,
+                ):
+                    self._absorb_result(job, item, outcomes, failures)
         finally:
             # Whatever happened above, joiners must never wait forever:
             # any cell this job claimed but did not resolve is failed.
             self.inflight.abort_owned(job.job_id, "owning job aborted")
             self.router.deactivate(job.job_id)
+
+    def _absorb_result(
+        self,
+        job: Job,
+        item: Any,
+        outcomes: Dict[str, CellOutcome],
+        failures: Dict[str, CellFailure],
+    ) -> None:
+        """Record one owned cell's result: publish, narrate, resolve."""
+        bus = job.bus
+        run_id = item.spec.run_id
+        if isinstance(item, CellFailure):
+            failures[run_id] = item
+            bus.emit(
+                sweepbus.CELL_FAILED,
+                error=item.error,
+                attempts=item.attempts,
+                **cell_event_fields(item.spec),
+            )
+            self.inflight.resolve(run_id, error=item.error)
+            return
+        self.publisher.publish(item)
+        outcomes[run_id] = item
+        resources = (
+            item.resources.to_dict() if item.resources is not None else None
+        )
+        bus.emit(
+            sweepbus.CELL_FINISHED,
+            wall_s=item.wall_clock_s,
+            resources=resources,
+            **cell_event_fields(item.spec),
+        )
+        self.inflight.resolve(run_id)
 
     def _await_joined(
         self,
@@ -534,5 +761,16 @@ class SweepScheduler:
             return
         self._closed = True
         self._threads.shutdown(wait=True)
+        try:
+            # Seal the control-plane stream so its event log validates.
+            self.server_bus.emit(
+                sweepbus.SWEEP_END,
+                executed=0,
+                cached=0,
+                failed=0,
+                wall_s=0.0,
+            )
+        finally:
+            self.server_bus.close()
         if close_pool:
             self.pool.close()

@@ -1,0 +1,175 @@
+"""Tests for seeded service-plane chaos: the wire misbehaves, on rails.
+
+:class:`ChaosTransport` makes every connection's misbehavior a pure
+function of ``(fault plan, seed, connection index)``, so these tests
+assert exact decision sequences for fixed seeds, then run a real sweep
+through a hostile wire and require the *same bits* a calm one produces
+— the whole point of the resilient client is that chaos changes
+latency, never results.
+"""
+
+import pytest
+
+from repro.experiments import Plan, SerialExecutor
+from repro.faults import (
+    ChaosDecisions,
+    ChaosTransport,
+    ConnectRefusal,
+    ConnectionDrop,
+    DelayedWrite,
+    ServiceFaultPlan,
+    SlowRead,
+    TruncatedFrame,
+    service_fault_from_dict,
+)
+from repro.obs import sweep as sweepbus
+from repro.obs.ledger import RunLedger
+from repro.obs.runmeta import metrics_digest
+from repro.service import RetryPolicy
+from repro.service.protocol import plan_payload
+
+from tests.test_service_robustness import GatewayHarness, spec
+
+HOSTILE_PLAN = ServiceFaultPlan(
+    [
+        ConnectRefusal(prob=0.05),
+        ConnectionDrop(prob=0.2, after_bytes=96),
+        TruncatedFrame(prob=0.15, keep_fraction=0.5),
+        SlowRead(prob=0.2, delay_s=0.002),
+        DelayedWrite(prob=0.1, delay_s=0.002),
+    ]
+)
+
+
+class TestFaultSpecs:
+    def test_round_trip_through_canonical_dicts(self):
+        rebuilt = ServiceFaultPlan.from_payload(HOSTILE_PLAN.to_payload())
+        assert rebuilt == HOSTILE_PLAN
+        one = service_fault_from_dict(
+            {"kind": "connection_drop", "prob": 0.5, "after_bytes": 7}
+        )
+        assert one == ConnectionDrop(prob=0.5, after_bytes=7)
+
+    def test_unknown_kinds_and_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown service fault kind"):
+            service_fault_from_dict({"kind": "cosmic_ray", "prob": 1.0})
+        with pytest.raises(ValueError, match="unknown fields"):
+            service_fault_from_dict(
+                {"kind": "slow_read", "prob": 0.1, "volume": 11}
+            )
+
+    def test_probabilities_are_validated(self):
+        with pytest.raises(ValueError):
+            ConnectRefusal(prob=1.5)
+        with pytest.raises(ValueError):
+            TruncatedFrame(prob=0.5, keep_fraction=1.0)
+        with pytest.raises(ValueError):
+            ConnectionDrop(prob=0.5, after_bytes=-1)
+
+
+class TestDeterminism:
+    def test_decisions_are_pure_in_plan_seed_and_index(self):
+        a = ChaosTransport(HOSTILE_PLAN, seed=7)
+        b = ChaosTransport(HOSTILE_PLAN, seed=7)
+        decisions = [a.decisions_for(i) for i in range(64)]
+        assert decisions == [b.decisions_for(i) for i in range(64)]
+        # Recomputing an index never disturbs later ones (no hidden state).
+        assert a.decisions_for(3) == decisions[3]
+        assert a.decisions_for(63) == decisions[63]
+
+        other = ChaosTransport(HOSTILE_PLAN, seed=8)
+        assert decisions != [other.decisions_for(i) for i in range(64)]
+
+    def test_probability_extremes(self):
+        calm = ChaosTransport(
+            ServiceFaultPlan([ConnectRefusal(prob=0.0)]), seed=1
+        )
+        assert all(calm.decisions_for(i).clean for i in range(32))
+
+        storm = ChaosTransport(
+            ServiceFaultPlan(
+                [ConnectRefusal(prob=1.0), SlowRead(prob=1.0, delay_s=0.5)]
+            ),
+            seed=1,
+        )
+        for i in range(32):
+            decisions = storm.decisions_for(i)
+            assert decisions.refuse_connect and decisions.read_delay_s == 0.5
+            assert not decisions.clean
+
+    def test_clean_default(self):
+        assert ChaosDecisions().clean
+        assert not ChaosDecisions(drop_after_bytes=0).clean
+
+
+class TestChaosSweep:
+    def _chaos_client(self, harness, seed):
+        return harness.client(
+            transport=ChaosTransport(HOSTILE_PLAN, seed=seed),
+            retry=RetryPolicy(
+                attempts=8, base_delay_s=0.01, max_delay_s=0.1, seed=seed
+            ),
+            connect_wait_s=10.0,
+        )
+
+    def test_sweep_through_hostile_wire_is_bit_identical(self, tmp_path):
+        cells = [spec("IM"), spec("STK", "NoReg"), spec("IM", seed=2)]
+        with GatewayHarness(tmp_path) as harness:
+            client = self._chaos_client(harness, seed=2026)
+            job = client.submit(plan_payload(Plan(cells)), label="chaos")
+            done = client.wait(job["job_id"])
+            assert done["state"] == "done" and done["ok"]
+            assert done["executed"] == 3 and done["failed"] == 0
+            served = {
+                c.run_id: client.fetch(c.run_id)["metrics_digest"]
+                for c in cells
+            }
+            transport_log = list(client.transport.log)
+            ledger_rows = harness.ledger.records()
+
+        # The wire actually misbehaved — this was not a calm run.
+        assert any(not d.clean for d in transport_log)
+
+        # ...and none of it reached the results: digests match an
+        # offline serial run, one ledger row per cell.
+        assert sorted(r["run_id"] for r in ledger_rows) == sorted(
+            c.run_id for c in cells
+        )
+        offline = SerialExecutor().run(
+            Plan(cells), ledger=RunLedger(tmp_path / "offline")
+        )
+        for outcome in offline.outcomes:
+            assert outcome.ledger_record is not None
+            assert served[outcome.spec.run_id] == metrics_digest(
+                outcome.ledger_record
+            )
+
+    def test_watch_reconnects_without_gaps_or_duplicates(self, tmp_path):
+        cells = [spec("IM"), spec("STK", "NoReg")]
+        with GatewayHarness(tmp_path) as harness:
+            calm = harness.client()
+            job = calm.submit(plan_payload(Plan(cells)))
+            assert calm.wait(job["job_id"])["state"] == "done"
+            reference = list(calm.watch(job["job_id"]))
+
+            # A watcher whose every connection drops 256 bytes in must
+            # reconnect repeatedly, resuming from the last seen seq.
+            droppy = harness.client(
+                transport=ChaosTransport(
+                    ServiceFaultPlan(
+                        [ConnectionDrop(prob=0.6, after_bytes=256)]
+                    ),
+                    seed=11,
+                ),
+                retry=RetryPolicy(
+                    attempts=8, base_delay_s=0.01, max_delay_s=0.05, seed=11
+                ),
+            )
+            events = list(droppy.watch(job["job_id"]))
+
+        assert [e.seq for e in events] == [e.seq for e in reference]
+        kinds = [e.kind for e in events]
+        assert kinds[0] == sweepbus.SWEEP_BEGIN
+        assert kinds[-1] == sweepbus.SWEEP_END
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(set(seqs))
